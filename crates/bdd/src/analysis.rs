@@ -1,0 +1,267 @@
+//! Model counting and model enumeration over BDDs.
+//!
+//! The property checker uses [`BddManager::any_model`] to extract a single
+//! counterexample (an unnecessary-stall witness) and [`ModelIter`] /
+//! [`BddManager::sat_count`] to quantify how many signal combinations violate
+//! a performance specification.
+
+use std::collections::HashMap;
+
+use ipcl_expr::{Assignment, VarId};
+
+use crate::manager::{BddManager, BddRef};
+
+impl BddManager {
+    /// Number of satisfying assignments of `f` over the given variable set.
+    ///
+    /// `over` must contain the support of `f`; variables in `over` that `f`
+    /// does not depend on are free and double the count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `over` omits a variable in the support of `f` or lists more
+    /// than 127 variables (the count is returned as `u128`).
+    pub fn sat_count(&self, f: BddRef, over: &[VarId]) -> u128 {
+        assert!(over.len() < 128, "sat_count limited to 127 variables");
+        let support = self.support(f);
+        for v in &support {
+            assert!(
+                over.contains(v),
+                "variable set for sat_count must cover the support"
+            );
+        }
+        // Map each variable to its position in a virtual order of `over`
+        // sorted by BDD level, so free variables between levels are counted.
+        let mut order: Vec<VarId> = over.to_vec();
+        order.sort_by_key(|v| self.level_of_var(*v).unwrap_or(u32::MAX));
+        let position: HashMap<VarId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+        let mut cache: HashMap<BddRef, u128> = HashMap::new();
+        let total_positions = order.len();
+        let count = self.count_rec(f, 0, total_positions, &position, &mut cache);
+        count
+    }
+
+    fn level_of_var(&self, var: VarId) -> Option<u32> {
+        self.order()
+            .iter()
+            .position(|&v| v == var)
+            .map(|p| p as u32)
+    }
+
+    fn count_rec(
+        &self,
+        f: BddRef,
+        from_position: usize,
+        total: usize,
+        position: &HashMap<VarId, usize>,
+        cache: &mut HashMap<BddRef, u128>,
+    ) -> u128 {
+        if f == BddRef::FALSE {
+            return 0;
+        }
+        if f == BddRef::TRUE {
+            return 1u128 << (total - from_position);
+        }
+        let (level, low, high) = self.children(f).expect("non-terminal");
+        let var = self.var_at_level(level).expect("registered variable");
+        let here = position[&var];
+        let skipped = (here - from_position) as u32;
+        let below = if let Some(&cached) = cache.get(&f) {
+            cached
+        } else {
+            let low_count = self.count_rec(low, here + 1, total, position, cache);
+            let high_count = self.count_rec(high, here + 1, total, position, cache);
+            let sum = low_count + high_count;
+            cache.insert(f, sum);
+            sum
+        };
+        below << skipped
+    }
+
+    /// A single satisfying assignment of `f` over its support, or `None` when
+    /// `f` is the constant false.
+    ///
+    /// Variables not constrained on the chosen path are omitted from the
+    /// returned assignment (any value works for them).
+    pub fn any_model(&self, f: BddRef) -> Option<Assignment> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut env = Assignment::new();
+        let mut cursor = f;
+        while let Some((level, low, high)) = self.children(cursor) {
+            let var = self.var_at_level(level).expect("registered variable");
+            if low != BddRef::FALSE {
+                env.set(var, false);
+                cursor = low;
+            } else {
+                env.set(var, true);
+                cursor = high;
+            }
+        }
+        Some(env)
+    }
+
+    /// Iterator over all satisfying assignments of `f` restricted to its
+    /// support variables (free variables are omitted, i.e. each yielded
+    /// assignment is a cube).
+    pub fn models(&self, f: BddRef) -> ModelIter<'_> {
+        ModelIter {
+            mgr: self,
+            stack: if f == BddRef::FALSE {
+                Vec::new()
+            } else {
+                vec![(f, Assignment::new())]
+            },
+        }
+    }
+}
+
+/// Iterator over satisfying cubes of a BDD, returned by [`BddManager::models`].
+#[derive(Debug)]
+pub struct ModelIter<'a> {
+    mgr: &'a BddManager,
+    stack: Vec<(BddRef, Assignment)>,
+}
+
+impl Iterator for ModelIter<'_> {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, env)) = self.stack.pop() {
+            match self.mgr.children(node) {
+                None => {
+                    if node == BddRef::TRUE {
+                        return Some(env);
+                    }
+                }
+                Some((level, low, high)) => {
+                    let var = self.mgr.var_at_level(level).expect("registered variable");
+                    if high != BddRef::FALSE {
+                        let mut high_env = env.clone();
+                        high_env.set(var, true);
+                        self.stack.push((high, high_env));
+                    }
+                    if low != BddRef::FALSE {
+                        let mut low_env = env;
+                        low_env.set(var, false);
+                        self.stack.push((low, low_env));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_expr::{parse_expr, VarPool};
+
+    fn build(text: &str) -> (BddManager, BddRef, VarPool) {
+        let mut pool = VarPool::new();
+        let e = parse_expr(text, &mut pool).unwrap();
+        let mut mgr = BddManager::new();
+        let f = mgr.from_expr(&e);
+        (mgr, f, pool)
+    }
+
+    #[test]
+    fn sat_count_simple() {
+        let (mgr, f, pool) = build("a & b");
+        let vars: Vec<_> = pool.ids().collect();
+        assert_eq!(mgr.sat_count(f, &vars), 1);
+        let (mgr, f, pool) = build("a | b");
+        let vars: Vec<_> = pool.ids().collect();
+        assert_eq!(mgr.sat_count(f, &vars), 3);
+        let (mgr, f, pool) = build("a ^ b ^ c");
+        let vars: Vec<_> = pool.ids().collect();
+        assert_eq!(mgr.sat_count(f, &vars), 4);
+    }
+
+    #[test]
+    fn sat_count_with_free_variables() {
+        let mut pool = VarPool::new();
+        let e = parse_expr("a", &mut pool).unwrap();
+        let free = pool.var("unused");
+        let mut mgr = BddManager::new();
+        let f = mgr.from_expr(&e);
+        let a = pool.lookup("a").unwrap();
+        assert_eq!(mgr.sat_count(f, &[a, free]), 2);
+        assert_eq!(mgr.sat_count(f, &[a]), 1);
+        assert_eq!(mgr.sat_count(BddRef::TRUE, &[a, free]), 4);
+        assert_eq!(mgr.sat_count(BddRef::FALSE, &[a, free]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the support")]
+    fn sat_count_requires_support() {
+        let (mgr, f, pool) = build("a & b");
+        let a = pool.lookup("a").unwrap();
+        let _ = mgr.sat_count(f, &[a]);
+    }
+
+    #[test]
+    fn any_model_satisfies() {
+        let (mgr, f, _) = build("(a | b) & !c");
+        let model = mgr.any_model(f).unwrap();
+        assert!(mgr.eval(f, &model));
+        assert!(mgr.any_model(BddRef::FALSE).is_none());
+        assert_eq!(mgr.any_model(BddRef::TRUE), Some(Assignment::new()));
+    }
+
+    #[test]
+    fn models_enumerates_disjoint_cubes_covering_sat_count() {
+        let (mgr, f, pool) = build("(a & b) | (!a & c)");
+        let vars: Vec<_> = pool.ids().collect();
+        let expected = mgr.sat_count(f, &vars);
+        // Expand cubes to full assignments over the support and count them.
+        let support = mgr.support(f);
+        let mut total = 0u128;
+        for cube in mgr.models(f) {
+            assert!(mgr.eval_cube(f, &cube));
+            let free = support.iter().filter(|v| !cube.contains(**v)).count();
+            total += 1u128 << free;
+        }
+        assert_eq!(total, expected);
+        assert_eq!(mgr.models(BddRef::FALSE).count(), 0);
+        assert_eq!(mgr.models(BddRef::TRUE).count(), 1);
+    }
+
+    #[test]
+    fn models_of_tautology_over_no_support() {
+        let (mgr, f, _) = build("a | !a");
+        assert_eq!(f, BddRef::TRUE);
+        let cubes: Vec<_> = mgr.models(f).collect();
+        assert_eq!(cubes.len(), 1);
+        assert!(cubes[0].is_empty());
+    }
+}
+
+impl BddManager {
+    /// Evaluates `f` treating `cube` as a partial assignment: variables not in
+    /// the cube may take any value, and the result is `true` iff every
+    /// completion satisfies `f` along the cube path.
+    ///
+    /// Used by tests to validate cube enumeration; for total assignments use
+    /// [`BddManager::eval`].
+    pub fn eval_cube(&self, f: BddRef, cube: &Assignment) -> bool {
+        let mut cursor = f;
+        while let Some((level, low, high)) = self.children(cursor) {
+            let var = self.var_at_level(level).expect("registered variable");
+            match cube.get(var) {
+                Some(true) => cursor = high,
+                Some(false) => cursor = low,
+                // Unconstrained by the cube: both branches must agree for the
+                // cube to be a genuine implicant.
+                None => {
+                    return self.eval_cube(low, cube) && self.eval_cube(high, cube);
+                }
+            }
+        }
+        cursor == BddRef::TRUE
+    }
+}

@@ -1,0 +1,108 @@
+//! Graphviz (DOT) export of BDDs, useful for documentation and debugging of
+//! specification structure.
+
+use std::fmt::Write as _;
+
+use ipcl_expr::VarPool;
+
+use crate::manager::{BddManager, BddRef};
+
+impl BddManager {
+    /// Renders the BDD rooted at `f` as a Graphviz `digraph`.
+    ///
+    /// Solid edges are the high (then) branches, dashed edges the low (else)
+    /// branches. Variable names are taken from `pool`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ipcl_bdd::BddManager;
+    /// use ipcl_expr::{parse_expr, VarPool};
+    ///
+    /// let mut pool = VarPool::new();
+    /// let e = parse_expr("a & b", &mut pool)?;
+    /// let mut mgr = BddManager::new();
+    /// let f = mgr.from_expr(&e);
+    /// let dot = mgr.to_dot(f, &pool);
+    /// assert!(dot.contains("digraph bdd"));
+    /// # Ok::<(), ipcl_expr::ParseError>(())
+    /// ```
+    pub fn to_dot(&self, f: BddRef, pool: &VarPool) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  node_true [label=\"1\", shape=box];\n");
+        out.push_str("  node_false [label=\"0\", shape=box];\n");
+
+        let mut stack = vec![f];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(node) = stack.pop() {
+            if node.is_terminal() || !seen.insert(node) {
+                continue;
+            }
+            let (level, low, high) = self.children(node).expect("non-terminal");
+            let name = self
+                .var_at_level(level)
+                .map(|v| pool.name_or_fallback(v))
+                .unwrap_or_else(|| format!("level{level}"));
+            let _ = writeln!(
+                out,
+                "  node{} [label=\"{}\", shape=circle];",
+                node.index(),
+                name
+            );
+            let _ = writeln!(
+                out,
+                "  node{} -> {} [style=dashed];",
+                node.index(),
+                node_name(low)
+            );
+            let _ = writeln!(out, "  node{} -> {};", node.index(), node_name(high));
+            stack.push(low);
+            stack.push(high);
+        }
+        if f.is_terminal() {
+            let _ = writeln!(out, "  root -> {};", node_name(f));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn node_name(node: BddRef) -> String {
+    match node {
+        BddRef::FALSE => "node_false".to_owned(),
+        BddRef::TRUE => "node_true".to_owned(),
+        other => format!("node{}", other.index()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_expr::{parse_expr, VarPool};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut pool = VarPool::new();
+        let e = parse_expr("a & b | c", &mut pool).unwrap();
+        let mut mgr = BddManager::new();
+        let f = mgr.from_expr(&e);
+        let dot = mgr.to_dot(f, &pool);
+        assert!(dot.starts_with("digraph bdd"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.contains("label=\"c\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+        // One line per reachable decision node.
+        let node_lines = dot.lines().filter(|l| l.contains("shape=circle")).count();
+        assert_eq!(node_lines, mgr.size(f));
+    }
+
+    #[test]
+    fn dot_of_terminal() {
+        let pool = VarPool::new();
+        let mgr = BddManager::new();
+        let dot = mgr.to_dot(BddRef::TRUE, &pool);
+        assert!(dot.contains("root -> node_true"));
+    }
+}

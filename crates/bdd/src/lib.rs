@@ -1,0 +1,49 @@
+//! A reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! `ipcl-bdd` is the exhaustive-reasoning substrate of the `ipcl` workspace:
+//! the property checker represents interlock specifications as BDDs to decide
+//! validity, implication and equivalence, and to enumerate counterexample
+//! assignments (unnecessary-stall witnesses).
+//!
+//! The package is self-contained (no external BDD crate is used): a
+//! [`BddManager`] owns the node store, the unique table (hash consing) and the
+//! operation caches; functions are referenced by lightweight [`BddRef`]
+//! handles.
+//!
+//! # Example
+//!
+//! ```
+//! use ipcl_bdd::BddManager;
+//! use ipcl_expr::{parse_expr, VarPool};
+//!
+//! let mut pool = VarPool::new();
+//! let spec = parse_expr("(a -> b) & a -> b", &mut pool)?;
+//! let mut mgr = BddManager::new();
+//! let f = mgr.from_expr(&spec);
+//! assert!(mgr.is_tautology(f));
+//! # Ok::<(), ipcl_expr::ParseError>(())
+//! ```
+
+pub mod analysis;
+pub mod dot;
+pub mod manager;
+pub mod order;
+
+pub use analysis::ModelIter;
+pub use manager::{BddManager, BddRef, BddStats};
+pub use order::{order_from_exprs, OrderHeuristic};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_expr::{parse_expr, VarPool};
+
+    #[test]
+    fn crate_level_example() {
+        let mut pool = VarPool::new();
+        let e = parse_expr("x & !x", &mut pool).unwrap();
+        let mut mgr = BddManager::new();
+        let f = mgr.from_expr(&e);
+        assert!(mgr.is_contradiction(f));
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion benchmark (substrate ablation): BDD construction for interlock
+//! specifications under different variable-ordering heuristics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcl_bdd::{order_from_exprs, BddManager, OrderHeuristic};
+use ipcl_core::ArchSpec;
+
+fn bench_bdd_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_build_combined_spec");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for arch in [
+        ArchSpec::paper_example(),
+        ArchSpec::synthetic(2, 6),
+        ArchSpec::firepath_like(),
+    ] {
+        let spec = arch.functional_spec().expect("well-formed");
+        let combined = spec.combined_expr();
+        for heuristic in [OrderHeuristic::FirstOccurrence, OrderHeuristic::FrequencyFirst] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{heuristic:?}"), &arch.name),
+                &combined,
+                |b, combined| {
+                    b.iter(|| {
+                        let order = order_from_exprs([combined], heuristic);
+                        let mut manager = BddManager::with_order(order);
+                        let f = manager.from_expr(combined);
+                        manager.size(f)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bdd_build);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark (ablation): BDD vs SAT engines for checking the
+//! derived interlock against the combined specification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcl_checker::{check_derived_implementation, Engine};
+use ipcl_core::ArchSpec;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implementation_check");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for arch in [
+        ArchSpec::paper_example(),
+        ArchSpec::synthetic(2, 6),
+        ArchSpec::synthetic(4, 4),
+        ArchSpec::firepath_like(),
+    ] {
+        let spec = arch.functional_spec().expect("well-formed");
+        for engine in Engine::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), &arch.name),
+                &spec,
+                |b, spec| {
+                    b.iter(|| {
+                        let report = check_derived_implementation(spec, engine);
+                        assert!(report.holds());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmark (E9): cost of the fixed-point derivation as the
+//! architecture grows in pipe count and pipe depth, for both the concrete
+//! (per-cycle) and the symbolic (closed-form) derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcl_core::fixpoint::{derive_concrete, derive_symbolic};
+use ipcl_core::ArchSpec;
+use ipcl_expr::Assignment;
+
+fn bench_symbolic_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive_symbolic");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (pipes, depth) in [(1u32, 4u32), (2, 4), (2, 8), (4, 6), (6, 6)] {
+        let arch = ArchSpec::synthetic(pipes, depth);
+        let spec = arch.functional_spec().expect("well-formed");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pipes}x{depth}")),
+            &spec,
+            |b, spec| b.iter(|| derive_symbolic(spec)),
+        );
+    }
+    // The paper's example and the FirePath-like configuration.
+    for arch in [ArchSpec::paper_example(), ArchSpec::firepath_like()] {
+        let spec = arch.functional_spec().expect("well-formed");
+        group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &spec, |b, spec| {
+            b.iter(|| derive_symbolic(spec))
+        });
+    }
+    group.finish();
+}
+
+fn bench_concrete_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive_concrete");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for arch in [
+        ArchSpec::paper_example(),
+        ArchSpec::synthetic(4, 6),
+        ArchSpec::firepath_like(),
+    ] {
+        let spec = arch.functional_spec().expect("well-formed");
+        // A busy environment: every rtm and request asserted.
+        let env: Assignment = spec
+            .env_vars()
+            .into_iter()
+            .map(|v| {
+                let name = spec.pool().name_or_fallback(v);
+                (v, name.ends_with(".rtm") || name.ends_with(".req"))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &spec, |b, spec| {
+            b.iter(|| derive_concrete(spec, &env))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic_derivation, bench_concrete_derivation);
+criterion_main!(benches);

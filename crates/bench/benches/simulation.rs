@@ -1,0 +1,50 @@
+//! Criterion benchmark: cycle throughput of the pipeline simulator with the
+//! maximal interlock, with and without a runtime assertion monitor attached.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcl_assertgen::{AssertionKind, SpecMonitor};
+use ipcl_core::ArchSpec;
+use ipcl_pipesim::{Machine, MaximalInterlock, WorkloadConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.sample_size(10);
+    for arch in [ArchSpec::paper_example(), ArchSpec::firepath_like()] {
+        let program = WorkloadConfig::for_arch(&arch, 0.8)
+            .with_packets(300)
+            .generate(1);
+        group.bench_with_input(
+            BenchmarkId::new("bare", &arch.name),
+            &(&arch, &program),
+            |b, (arch, program)| {
+                b.iter(|| {
+                    let mut machine =
+                        Machine::new(arch, Box::new(MaximalInterlock)).expect("valid");
+                    machine.run_program(program, 100_000)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_monitor", &arch.name),
+            &(&arch, &program),
+            |b, (arch, program)| {
+                b.iter(|| {
+                    let mut machine =
+                        Machine::new(arch, Box::new(MaximalInterlock)).expect("valid");
+                    let spec = machine.spec().clone();
+                    let mut monitor = SpecMonitor::new(&spec, AssertionKind::Combined);
+                    machine.run_program_with_observer(program, 100_000, |env, moe| {
+                        monitor.check_cycle(env, moe);
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark: specification-to-netlist synthesis and the
+//! equivalence check of the result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcl_checker::{check_netlist, Engine};
+use ipcl_core::ArchSpec;
+use ipcl_synth::synthesize_interlock;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for arch in [
+        ArchSpec::paper_example(),
+        ArchSpec::synthetic(4, 6),
+        ArchSpec::firepath_like(),
+    ] {
+        let spec = arch.functional_spec().expect("well-formed");
+        group.bench_with_input(BenchmarkId::new("synthesize", &arch.name), &spec, |b, spec| {
+            b.iter(|| synthesize_interlock(spec))
+        });
+        let synthesized = synthesize_interlock(&spec);
+        group.bench_with_input(
+            BenchmarkId::new("equivalence_bdd", &arch.name),
+            &(&spec, synthesized.netlist()),
+            |b, (spec, netlist)| {
+                b.iter(|| {
+                    check_netlist(spec, netlist, Engine::Bdd)
+                        .expect("outputs present")
+                        .holds()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Experiment E4 (Section 3.1/3.2 properties): preconditions P1, P2,
+//! monotonicity and maximality across architectures of increasing size.
+
+use ipcl_core::fixpoint::{derive_concrete, derive_symbolic, is_most_liberal};
+use ipcl_core::properties::check_preconditions;
+use ipcl_core::ArchSpec;
+use ipcl_expr::Assignment;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    println!("# Section 3 properties across architectures\n");
+    ipcl_bench::header(&[
+        "architecture",
+        "stages",
+        "monotone",
+        "P1",
+        "P2",
+        "cycles",
+        "fixpoint iterations",
+        "maximality (sampled envs)",
+    ]);
+    let architectures = vec![
+        ArchSpec::paper_example(),
+        ArchSpec::synthetic(1, 4),
+        ArchSpec::synthetic(2, 6),
+        ArchSpec::synthetic(4, 4),
+        ArchSpec::firepath_like(),
+    ];
+    for arch in architectures {
+        let spec = arch.functional_spec().expect("well-formed architecture");
+        let report = check_preconditions(&spec);
+        let derivation = derive_symbolic(&spec);
+        // Sampled maximality check (exhaustive over moe for each sampled env).
+        let env_vars: Vec<_> = spec.env_vars().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(2002);
+        let samples = 50;
+        let mut maximal = 0;
+        for _ in 0..samples {
+            let env: Assignment = env_vars
+                .iter()
+                .map(|&v| (v, rng.random_bool(0.5)))
+                .collect();
+            let moe = derive_concrete(&spec, &env);
+            if spec.moe_vars().len() <= 20 && is_most_liberal(&spec, &env, &moe) {
+                maximal += 1;
+            }
+        }
+        let maximality = if spec.moe_vars().len() <= 20 {
+            format!("{maximal}/{samples}")
+        } else {
+            "skipped (2^n check)".to_owned()
+        };
+        ipcl_bench::row(&[
+            arch.name.clone(),
+            spec.stages().len().to_string(),
+            report.monotone.to_string(),
+            report.p1_all_stalled_satisfies.to_string(),
+            report.p2_disjunction_closed.to_string(),
+            report.has_cycles.to_string(),
+            derivation.iterations.to_string(),
+            maximality,
+        ]);
+    }
+}

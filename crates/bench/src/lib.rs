@@ -1,0 +1,153 @@
+//! Shared helpers for the experiment harness binaries and Criterion
+//! benchmarks that regenerate the paper's figures and claims.
+//!
+//! Each experiment of `EXPERIMENTS.md` corresponds to one binary in
+//! `src/bin/` (run with `cargo run -p ipcl-bench --bin <name>`); the
+//! Criterion benchmarks in `benches/` cover the scaling/ablation studies.
+
+use ipcl_core::fixpoint::derive_symbolic;
+use ipcl_core::{ArchSpec, FunctionalSpec};
+use ipcl_expr::Expr;
+use ipcl_pipesim::{Machine, SimStats, WorkloadConfig};
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// The bug-injection matrix used by the assertion and property-checking
+/// experiments: `(label, stage prefix, extra stall condition over the pool)`.
+///
+/// Each entry yields an over-conservative specification via
+/// [`FunctionalSpec::augmented`]; deriving an interlock from it produces an
+/// implementation with exactly one injected performance bug.
+pub fn performance_bug_matrix(spec: &FunctionalSpec) -> Vec<(String, String, Expr)> {
+    let pool = spec.pool();
+    let mut bugs = Vec::new();
+    if let Some(wait) = pool.lookup("op_is_wait") {
+        bugs.push((
+            "stall-exec-on-wait".to_owned(),
+            spec.stages()
+                .iter()
+                .find(|s| s.stage.stage > 1)
+                .map(|s| s.stage.prefix())
+                .unwrap_or_default(),
+            Expr::var(wait),
+        ));
+    }
+    // Completion stages stall whenever *any* pipe requests the bus (ignoring
+    // who won the grant).
+    for stage in spec.stages() {
+        if stage.rules.iter().any(|r| r.label == "completion-bus-lost") {
+            if let Some(req) = pool.lookup(&format!("{}.req", stage.stage.pipe)) {
+                bugs.push((
+                    format!("stall-{}-on-any-request", stage.stage.prefix()),
+                    stage.stage.prefix(),
+                    Expr::var(req),
+                ));
+            }
+        }
+    }
+    // Intermediate stages stall whenever they merely hold a valid
+    // instruction (their `rtm` flag), regardless of whether the downstream
+    // stage is free — the "no bubble collapse" class of performance bug.
+    //
+    // (Issue stages are deliberately not used here: a spurious stall of a
+    // lock-step issue group is *mutually justified* by the lock-step rules
+    // and therefore does not violate the per-stage Figure-3 performance
+    // specification — see the cyclic-control caveat in DESIGN.md. Those bugs
+    // are caught by comparison against the derived maximal assignment, which
+    // the simulation experiments perform.)
+    for stage in spec.stages() {
+        let is_intermediate = stage.stage.stage > 1
+            && !stage.rules.iter().any(|r| r.label == "completion-bus-lost");
+        if is_intermediate {
+            if let Some(rtm) = pool.lookup(&stage.stage.rtm()) {
+                bugs.push((
+                    format!("stall-{}-whenever-valid", stage.stage.prefix()),
+                    stage.stage.prefix(),
+                    Expr::var(rtm),
+                ));
+            }
+        }
+    }
+    bugs
+}
+
+/// Derives an over-conservative interlock implementation containing the given
+/// injected bug.
+pub fn buggy_implementation(
+    spec: &FunctionalSpec,
+    stage_prefix: &str,
+    condition: Expr,
+) -> std::collections::BTreeMap<ipcl_expr::VarId, Expr> {
+    let stage = spec
+        .stages()
+        .iter()
+        .find(|s| s.stage.prefix() == stage_prefix)
+        .expect("bug matrix references declared stages")
+        .stage
+        .clone();
+    let augmented = spec
+        .augmented(&stage, "injected-performance-bug", condition)
+        .expect("augmentation is well-formed");
+    derive_symbolic(&augmented).moe
+}
+
+/// Runs one simulation of the example architecture and returns its
+/// statistics.
+pub fn simulate(
+    arch: &ArchSpec,
+    policy: Box<dyn ipcl_pipesim::InterlockPolicy>,
+    packets: usize,
+    dependence: f64,
+    utilisation: f64,
+    seed: u64,
+) -> SimStats {
+    let program = WorkloadConfig::for_arch(arch, utilisation)
+        .with_packets(packets)
+        .with_dependence_bias(dependence)
+        .generate(seed);
+    let mut machine = Machine::new(arch, policy).expect("architecture is well-formed");
+    machine.run_program(&program, (packets as u64) * 200 + 10_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_checker::{check_moe_expressions, Engine, SpecDirection};
+    use ipcl_pipesim::MaximalInterlock;
+
+    #[test]
+    fn bug_matrix_produces_performance_only_bugs() {
+        let spec = ArchSpec::paper_example().functional_spec().unwrap();
+        let bugs = performance_bug_matrix(&spec);
+        assert!(bugs.len() >= 4);
+        for (label, stage, condition) in bugs {
+            let implementation = buggy_implementation(&spec, &stage, condition);
+            let report = check_moe_expressions(&spec, &implementation, Engine::Bdd);
+            assert!(
+                report.holds_direction(SpecDirection::Functional),
+                "{label} must stay functionally correct"
+            );
+            assert!(
+                !report.holds_direction(SpecDirection::Performance),
+                "{label} must violate the performance spec"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_helper_runs() {
+        let arch = ArchSpec::paper_example();
+        let stats = simulate(&arch, Box::new(MaximalInterlock), 100, 0.4, 0.8, 1);
+        assert!(stats.ops_completed > 0);
+        assert_eq!(stats.hazards.total(), 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The paper's example architecture (Section 2, Figures 1–3).
+//!
+//! Two pipes share a fetch/decode/issue stage group operating in lock step:
+//! the `long` pipe has stages 1–4 (issue, two execution stages, writeback)
+//! and the `short` pipe has stages 1–2 (issue, execution/writeback). The
+//! final stages of both pipes complete over one shared completion bus `c`
+//! (the `short` pipe has priority). Eight architectural registers are
+//! tracked by a scoreboard; an instruction cannot issue while a source or
+//! destination register is outstanding and not bypassed from the completion
+//! bus. A special `op_is_wait` instruction freezes issue on the `long` pipe.
+
+use ipcl_expr::Expr;
+
+use crate::model::{Operand, SignalNames, StageRef};
+use crate::spec::{FunctionalSpec, FunctionalSpecBuilder};
+
+/// How the scoreboard/operand interlock of the issue stages is modelled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OperandStyle {
+    /// One abstract environment signal per pipe
+    /// (`"long.1.operand_outstanding"`), matching the shape of Figure 2's
+    /// existential quantifier without expanding it. This keeps the
+    /// specification small enough for exhaustive analyses.
+    #[default]
+    Abstract,
+    /// Full bit-level expansion of the paper's
+    /// `∃ r ∈ SDREG, a ∈ REGADDRESS: p.1.r.regaddr = a ∧ scb[a] ∧ c.regaddr ≠ a`
+    /// over the 8 architectural registers (3 address bits), as an RTL
+    /// implementation would see it.
+    BitLevel,
+}
+
+/// The example architecture of the paper (Figure 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExampleArch {
+    /// Operand-interlock modelling style.
+    pub operand_style: OperandStyle,
+}
+
+impl ExampleArch {
+    /// Number of architectural registers (the paper's `REGADDRESS = {7..0}`).
+    pub const REGISTERS: u32 = 8;
+    /// Number of register-address bits.
+    pub const REGADDR_BITS: u32 = 3;
+    /// The completion bus name.
+    pub const COMPLETION_BUS: &'static str = "c";
+
+    /// The example architecture with the abstract operand interlock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The example architecture with the bit-level operand interlock.
+    pub fn bit_level() -> Self {
+        ExampleArch {
+            operand_style: OperandStyle::BitLevel,
+        }
+    }
+
+    /// The `moe` vector order used throughout the paper:
+    /// `⟨long.4, long.3, long.2, long.1, short.2, short.1⟩`.
+    pub fn stage_order() -> Vec<StageRef> {
+        vec![
+            StageRef::new("long", 4),
+            StageRef::new("long", 3),
+            StageRef::new("long", 2),
+            StageRef::new("long", 1),
+            StageRef::new("short", 2),
+            StageRef::new("short", 1),
+        ]
+    }
+
+    /// The pipes of the architecture with their depths.
+    pub fn pipes() -> Vec<(&'static str, u32)> {
+        vec![("long", 4), ("short", 2)]
+    }
+
+    /// Builds the functional specification of Figure 2.
+    ///
+    /// Every conjunct of the figure appears as one or more labelled
+    /// [`crate::spec::StallRule`]s so that downstream tooling (assertion
+    /// generation, stall accounting) can attribute violations to causes.
+    pub fn functional_spec(&self) -> FunctionalSpec {
+        let mut b = FunctionalSpecBuilder::new();
+        for stage in Self::stage_order() {
+            b.declare_stage(stage).expect("stage order has no duplicates");
+        }
+
+        let long4 = StageRef::new("long", 4);
+        let long3 = StageRef::new("long", 3);
+        let long2 = StageRef::new("long", 2);
+        let long1 = StageRef::new("long", 1);
+        let short2 = StageRef::new("short", 2);
+        let short1 = StageRef::new("short", 1);
+
+        // Completion stages: stall when requesting the completion bus but not
+        // granted (the rtm flag is folded into the request, as in the paper).
+        let long_req = b.env(&SignalNames::completion_request("long"));
+        let long_gnt = b.env(&SignalNames::completion_grant("long"));
+        b.stall_rule(
+            &long4,
+            "completion-bus-lost",
+            Expr::and([long_req, Expr::not(long_gnt)]),
+        )
+        .expect("long.4 declared");
+        let short_req = b.env(&SignalNames::completion_request("short"));
+        let short_gnt = b.env(&SignalNames::completion_grant("short"));
+        b.stall_rule(
+            &short2,
+            "completion-bus-lost",
+            Expr::and([short_req, Expr::not(short_gnt)]),
+        )
+        .expect("short.2 declared");
+
+        // Intermediate stages of the long pipe: stall when they want to move
+        // and the next stage is stalled (overwrite hazard).
+        for stage in [&long3, &long2] {
+            let rtm = b.env(&stage.rtm());
+            let downstream = b.stalled(&stage.next());
+            b.stall_rule(stage, "downstream-stalled", Expr::and([rtm, downstream]))
+                .expect("stage declared");
+        }
+
+        // Issue stages: back-pressure from the respective issue pipe.
+        for stage in [&long1, &short1] {
+            let rtm = b.env(&stage.rtm());
+            let downstream = b.stalled(&stage.next());
+            b.stall_rule(stage, "downstream-stalled", Expr::and([rtm, downstream]))
+                .expect("stage declared");
+        }
+
+        // Wait state freezes issue on the long pipe.
+        let wait = b.env(&SignalNames::wait_state());
+        b.stall_rule(&long1, "wait-state", wait)
+            .expect("long.1 declared");
+
+        // Lock-step issue: each issue stage stalls when the other does.
+        let short1_stalled = b.stalled(&short1);
+        b.stall_rule(&long1, "lockstep", short1_stalled)
+            .expect("long.1 declared");
+        let long1_stalled = b.stalled(&long1);
+        b.stall_rule(&short1, "lockstep", long1_stalled)
+            .expect("short.1 declared");
+
+        // Scoreboard: an outstanding, non-bypassed source or destination
+        // register blocks issue.
+        for pipe in ["long", "short"] {
+            let stage = StageRef::new(pipe, 1);
+            let condition = self.operand_outstanding(&mut b, pipe);
+            b.stall_rule(&stage, "scoreboard", condition)
+                .expect("issue stage declared");
+        }
+
+        b.build().expect("example specification is well-formed")
+    }
+
+    /// The operand-outstanding condition of a pipe's issue stage, in the
+    /// selected modelling style.
+    fn operand_outstanding(&self, b: &mut FunctionalSpecBuilder, pipe: &str) -> Expr {
+        match self.operand_style {
+            OperandStyle::Abstract => b.env(&SignalNames::operand_outstanding(pipe)),
+            OperandStyle::BitLevel => {
+                // ∃ r ∈ {src, dst}: ∃ a ∈ 0..8:
+                //   p.1.r.regaddr = a ∧ scb[a] ∧ c.regaddr ≠ a
+                let mut cases = Vec::new();
+                for operand in Operand::ALL {
+                    for address in 0..Self::REGISTERS {
+                        let operand_matches = Self::address_equals(
+                            b,
+                            |bit| SignalNames::operand_regaddr_bit(pipe, operand, bit),
+                            address,
+                        );
+                        let scoreboarded = b.env(&SignalNames::scoreboard_bit(address));
+                        let bypassed = Self::address_equals(
+                            b,
+                            |bit| SignalNames::completion_regaddr_bit(Self::COMPLETION_BUS, bit),
+                            address,
+                        );
+                        cases.push(Expr::and([
+                            operand_matches,
+                            scoreboarded,
+                            Expr::not(bypassed),
+                        ]));
+                    }
+                }
+                Expr::or(cases)
+            }
+        }
+    }
+
+    /// `signal == address` over [`Self::REGADDR_BITS`] bits.
+    fn address_equals(
+        b: &mut FunctionalSpecBuilder,
+        bit_name: impl Fn(u32) -> String,
+        address: u32,
+    ) -> Expr {
+        Expr::and((0..Self::REGADDR_BITS).map(|bit| {
+            let var = b.env(&bit_name(bit));
+            if address & (1 << bit) != 0 {
+                var
+            } else {
+                Expr::not(var)
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixpoint::{derive_concrete, derive_symbolic, is_most_liberal};
+    use crate::properties::check_preconditions;
+    use ipcl_expr::Assignment;
+
+    #[test]
+    fn stage_order_matches_figure_2_vector() {
+        let order = ExampleArch::stage_order();
+        let names: Vec<String> = order.iter().map(StageRef::moe).collect();
+        assert_eq!(
+            names,
+            vec![
+                "long.4.moe",
+                "long.3.moe",
+                "long.2.moe",
+                "long.1.moe",
+                "short.2.moe",
+                "short.1.moe"
+            ]
+        );
+    }
+
+    #[test]
+    fn abstract_spec_shape() {
+        let spec = ExampleArch::new().functional_spec();
+        assert_eq!(spec.stages().len(), 6);
+        // Stall-rule counts per stage: long.4:1, long.3:1, long.2:1,
+        // long.1: downstream + wait + lockstep + scoreboard = 4,
+        // short.2:1, short.1: downstream + lockstep + scoreboard = 3.
+        let rule_counts: Vec<usize> = spec.stages().iter().map(|s| s.rules.len()).collect();
+        assert_eq!(rule_counts, vec![1, 1, 1, 4, 1, 3]);
+        // Environment: req/gnt ×2, rtm ×4 (long.1..3, short.1), wait,
+        // operand_outstanding ×2 = 11.
+        assert_eq!(spec.env_vars().len(), 11);
+        assert!(spec.has_cyclic_dependencies(), "lock-step couples the issue stages");
+    }
+
+    #[test]
+    fn bit_level_spec_shape() {
+        let spec = ExampleArch::bit_level().functional_spec();
+        assert_eq!(spec.stages().len(), 6);
+        // Environment: req/gnt ×2 (4), rtm ×4, wait (1), scb[0..8) (8),
+        // c.regaddr bits (3), operand address bits 2 pipes × 2 operands × 3
+        // bits (12) = 32.
+        assert_eq!(spec.env_vars().len(), 32);
+    }
+
+    #[test]
+    fn preconditions_hold_for_both_styles() {
+        assert!(check_preconditions(&ExampleArch::new().functional_spec()).all_hold());
+        assert!(check_preconditions(&ExampleArch::bit_level().functional_spec()).all_hold());
+    }
+
+    #[test]
+    fn figure2_text_contains_every_constraint() {
+        let spec = ExampleArch::new().functional_spec();
+        let text = spec.to_text();
+        assert!(text.contains("long.req & !long.gnt"));
+        assert!(text.contains("-> !long.4.moe"));
+        assert!(text.contains("op_is_wait"));
+        assert!(text.contains("!short.1.moe"));
+        assert!(text.contains("-> !short.1.moe"));
+        assert!(text.contains("short.req & !short.gnt"));
+    }
+
+    #[test]
+    fn quiet_machine_runs_at_full_speed() {
+        let spec = ExampleArch::new().functional_spec();
+        let moe = derive_concrete(&spec, &Assignment::new());
+        assert!(moe.iter().all(|(_, value)| value));
+    }
+
+    #[test]
+    fn wait_state_stalls_both_issue_stages_only() {
+        let spec = ExampleArch::new().functional_spec();
+        let wait = spec.pool().lookup("op_is_wait").unwrap();
+        let env = Assignment::from_pairs([(wait, true)]);
+        let moe = derive_concrete(&spec, &env);
+        let get = |pipe: &str, stage: u32| {
+            moe.get(spec.moe_var(&StageRef::new(pipe, stage)).unwrap())
+                .unwrap()
+        };
+        assert!(!get("long", 1), "wait must stall long issue");
+        assert!(!get("short", 1), "lock-step must stall short issue too");
+        assert!(get("long", 2));
+        assert!(get("long", 3));
+        assert!(get("long", 4));
+        assert!(get("short", 2));
+    }
+
+    #[test]
+    fn completion_loss_propagates_only_through_rtm_chain() {
+        let spec = ExampleArch::new().functional_spec();
+        let pool = spec.pool();
+        let env = Assignment::from_pairs([
+            (pool.lookup("long.req").unwrap(), true),
+            (pool.lookup("long.3.rtm").unwrap(), true),
+            (pool.lookup("long.2.rtm").unwrap(), true),
+            (pool.lookup("long.1.rtm").unwrap(), true),
+        ]);
+        let moe = derive_concrete(&spec, &env);
+        let get = |pipe: &str, stage: u32| {
+            moe.get(spec.moe_var(&StageRef::new(pipe, stage)).unwrap())
+                .unwrap()
+        };
+        assert!(!get("long", 4));
+        assert!(!get("long", 3));
+        assert!(!get("long", 2));
+        assert!(!get("long", 1));
+        // Lock-step drags the short issue stage down as well.
+        assert!(!get("short", 1));
+        // The short completion stage is unaffected.
+        assert!(get("short", 2));
+        assert!(is_most_liberal(&spec, &env, &moe));
+    }
+
+    #[test]
+    fn bubble_in_long2_breaks_the_stall_chain() {
+        let spec = ExampleArch::new().functional_spec();
+        let pool = spec.pool();
+        // long.4 loses the bus and long.3 wants to move, but long.2 holds a
+        // bubble (rtm clear): issue stages must keep moving.
+        let env = Assignment::from_pairs([
+            (pool.lookup("long.req").unwrap(), true),
+            (pool.lookup("long.3.rtm").unwrap(), true),
+            (pool.lookup("long.1.rtm").unwrap(), true),
+        ]);
+        let moe = derive_concrete(&spec, &env);
+        let get = |pipe: &str, stage: u32| {
+            moe.get(spec.moe_var(&StageRef::new(pipe, stage)).unwrap())
+                .unwrap()
+        };
+        assert!(!get("long", 4));
+        assert!(!get("long", 3));
+        assert!(get("long", 2));
+        assert!(get("long", 1));
+        assert!(get("short", 1));
+    }
+
+    #[test]
+    fn bit_level_scoreboard_bypass_behaviour() {
+        let spec = ExampleArch::bit_level().functional_spec();
+        let pool = spec.pool();
+        let set_address = |env: &mut Assignment, prefix: &str, value: u32| {
+            for bit in 0..ExampleArch::REGADDR_BITS {
+                let var = pool.lookup(&format!("{prefix}[{bit}]")).unwrap();
+                env.set(var, value & (1 << bit) != 0);
+            }
+        };
+        // Source register 3 of the long pipe is outstanding and *not*
+        // bypassed (completion targets register 5): issue must stall.
+        let mut env = Assignment::new();
+        set_address(&mut env, "long.1.src.regaddr", 3);
+        set_address(&mut env, "c.regaddr", 5);
+        env.set(pool.lookup("scb[3]").unwrap(), true);
+        let moe = derive_concrete(&spec, &env);
+        let long1 = spec.moe_var(&StageRef::new("long", 1)).unwrap();
+        assert_eq!(moe.get(long1), Some(false));
+
+        // Same situation but the completion bus writes register 3 this cycle:
+        // the operand is bypassed, stalling would be a performance bug.
+        let mut env = Assignment::new();
+        set_address(&mut env, "long.1.src.regaddr", 3);
+        set_address(&mut env, "c.regaddr", 3);
+        env.set(pool.lookup("scb[3]").unwrap(), true);
+        let moe = derive_concrete(&spec, &env);
+        assert_eq!(moe.get(long1), Some(true));
+    }
+
+    #[test]
+    fn symbolic_derivation_of_example_is_stable() {
+        let spec = ExampleArch::new().functional_spec();
+        let derivation = derive_symbolic(&spec);
+        assert_eq!(derivation.moe.len(), 6);
+        assert!(derivation.iterations <= 7);
+        // Closed forms only mention environment variables.
+        let moe_vars = spec.moe_vars();
+        for expr in derivation.moe.values() {
+            assert!(expr.vars().iter().all(|v| !moe_vars.contains(v)));
+        }
+    }
+}

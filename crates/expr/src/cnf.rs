@@ -1,0 +1,436 @@
+//! Conjunctive normal form and the Tseitin encoding.
+//!
+//! The SAT engine in `ipcl-sat` consumes [`Cnf`] formulas. Validity and
+//! implication queries over specification expressions are answered by encoding
+//! the *negation* of the query with [`TseitinEncoder`] and checking
+//! unsatisfiability.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::vars::VarId;
+
+/// A literal: a CNF variable index with a sign.
+///
+/// CNF variables are separate from specification [`VarId`]s because the
+/// Tseitin encoding introduces fresh definition variables; the encoder keeps
+/// the mapping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit {
+    code: u32,
+}
+
+impl Lit {
+    /// Creates a literal for CNF variable `var` (0-based) with polarity
+    /// `positive`.
+    pub fn new(var: u32, positive: bool) -> Lit {
+        Lit {
+            code: var << 1 | u32::from(!positive),
+        }
+    }
+
+    /// Positive literal of `var`.
+    pub fn positive(var: u32) -> Lit {
+        Lit::new(var, true)
+    }
+
+    /// Negative literal of `var`.
+    pub fn negative(var: u32) -> Lit {
+        Lit::new(var, false)
+    }
+
+    /// The CNF variable index.
+    pub fn var(self) -> u32 {
+        self.code >> 1
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.code & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            code: self.code ^ 1,
+        }
+    }
+
+    /// Dense code useful for indexing watch lists (`2*var + sign`).
+    pub fn code(self) -> usize {
+        self.code as usize
+    }
+
+    /// Evaluates the literal under a total valuation of CNF variables.
+    pub fn eval(self, value_of: impl Fn(u32) -> bool) -> bool {
+        value_of(self.var()) == self.is_positive()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "-x{}", self.var())
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A formula in conjunctive normal form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of CNF variables; all literals reference variables below this.
+    pub num_vars: u32,
+    /// The clauses. An empty clause makes the formula unsatisfiable.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty (trivially satisfiable) formula over `num_vars`
+    /// variables.
+    pub fn new(num_vars: u32) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh CNF variable and returns its index.
+    pub fn fresh_var(&mut self) -> u32 {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a clause. Literals referencing unknown variables grow the
+    /// variable count.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, literals: I) {
+        let clause: Clause = literals.into_iter().collect();
+        for lit in &clause {
+            if lit.var() >= self.num_vars {
+                self.num_vars = lit.var() + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the formula has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluates the formula under a total valuation.
+    pub fn eval(&self, value_of: impl Fn(u32) -> bool + Copy) -> bool {
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|lit| lit.eval(value_of)))
+    }
+
+    /// Renders the formula in DIMACS format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let v = lit.var() as i64 + 1;
+                let signed = if lit.is_positive() { v } else { -v };
+                out.push_str(&signed.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+/// Tseitin encoder translating [`Expr`]s into [`Cnf`] with a stable mapping
+/// from specification variables to CNF variables.
+///
+/// # Example
+///
+/// ```
+/// use ipcl_expr::{parse_expr, TseitinEncoder, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let e = parse_expr("a & !a", &mut pool)?;
+/// let mut enc = TseitinEncoder::new();
+/// let root = enc.encode(&e);
+/// enc.assert_literal(root);
+/// // The encoded formula is unsatisfiable because `a & !a` is.
+/// assert!(enc.cnf().clauses.len() >= 3);
+/// # Ok::<(), ipcl_expr::ParseError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TseitinEncoder {
+    cnf: Cnf,
+    var_map: std::collections::BTreeMap<VarId, u32>,
+}
+
+impl TseitinEncoder {
+    /// Creates an encoder with an empty formula.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The CNF variable representing specification variable `var`,
+    /// allocating one on first use.
+    pub fn cnf_var(&mut self, var: VarId) -> u32 {
+        if let Some(&v) = self.var_map.get(&var) {
+            return v;
+        }
+        let v = self.cnf.fresh_var();
+        self.var_map.insert(var, v);
+        v
+    }
+
+    /// The mapping from specification variables to CNF variables built so far.
+    pub fn var_map(&self) -> &std::collections::BTreeMap<VarId, u32> {
+        &self.var_map
+    }
+
+    /// Encodes `expr`, returning the literal that is true iff the expression
+    /// is true. Clauses defining intermediate gates are added to the formula.
+    pub fn encode(&mut self, expr: &Expr) -> Lit {
+        match expr {
+            Expr::Const(b) => {
+                // A fresh variable constrained to the constant value; the
+                // positive literal of that variable then *is* the constant.
+                let v = self.cnf.fresh_var();
+                self.cnf.add_clause([Lit::new(v, *b)]);
+                Lit::positive(v)
+            }
+            Expr::Var(v) => Lit::positive(self.cnf_var(*v)),
+            Expr::Not(e) => self.encode(e).negated(),
+            Expr::And(ops) => {
+                let lits: Vec<Lit> = ops.iter().map(|op| self.encode(op)).collect();
+                self.define_and(&lits)
+            }
+            Expr::Or(ops) => {
+                let lits: Vec<Lit> = ops.iter().map(|op| self.encode(op)).collect();
+                self.define_and(&lits.iter().map(|l| l.negated()).collect::<Vec<_>>())
+                    .negated()
+            }
+            Expr::Implies(l, r) => {
+                let l = self.encode(l);
+                let r = self.encode(r);
+                // l -> r  ==  !(l & !r)
+                self.define_and(&[l, r.negated()]).negated()
+            }
+            Expr::Iff(l, r) => {
+                let l = self.encode(l);
+                let r = self.encode(r);
+                self.define_iff(l, r)
+            }
+            Expr::Xor(l, r) => {
+                let l = self.encode(l);
+                let r = self.encode(r);
+                self.define_iff(l, r).negated()
+            }
+            Expr::Ite(c, t, e) => {
+                let c = self.encode(c);
+                let t = self.encode(t);
+                let e = self.encode(e);
+                // ite(c,t,e) == (c & t) | (!c & e)
+                let ct = self.define_and(&[c, t]);
+                let ce = self.define_and(&[c.negated(), e]);
+                self.define_and(&[ct.negated(), ce.negated()]).negated()
+            }
+        }
+    }
+
+    /// Adds a unit clause forcing `lit` to be true.
+    pub fn assert_literal(&mut self, lit: Lit) {
+        self.cnf.add_clause([lit]);
+    }
+
+    /// Consumes the encoder, returning the formula.
+    pub fn into_cnf(self) -> Cnf {
+        self.cnf
+    }
+
+    /// Borrows the formula built so far.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Defines a fresh gate `g <-> AND(lits)` and returns the literal `g`.
+    fn define_and(&mut self, lits: &[Lit]) -> Lit {
+        if lits.is_empty() {
+            // Empty conjunction is true: a fresh variable forced to 1.
+            let v = self.cnf.fresh_var();
+            self.cnf.add_clause([Lit::positive(v)]);
+            return Lit::positive(v);
+        }
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let g = Lit::positive(self.cnf.fresh_var());
+        // g -> each literal
+        for &lit in lits {
+            self.cnf.add_clause([g.negated(), lit]);
+        }
+        // all literals -> g
+        let mut clause: Clause = lits.iter().map(|l| l.negated()).collect();
+        clause.push(g);
+        self.cnf.add_clause(clause);
+        g
+    }
+
+    /// Defines a fresh gate `g <-> (a <-> b)` and returns `g`.
+    fn define_iff(&mut self, a: Lit, b: Lit) -> Lit {
+        let g = Lit::positive(self.cnf.fresh_var());
+        self.cnf.add_clause([g.negated(), a.negated(), b]);
+        self.cnf.add_clause([g.negated(), a, b.negated()]);
+        self.cnf.add_clause([g, a, b]);
+        self.cnf.add_clause([g, a.negated(), b.negated()]);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::vars::VarPool;
+
+    #[test]
+    fn literal_encoding() {
+        let p = Lit::positive(3);
+        let n = Lit::negative(3);
+        assert_eq!(p.var(), 3);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_eq!(p.code(), 6);
+        assert_eq!(n.code(), 7);
+        assert_eq!(p.to_string(), "x3");
+        assert_eq!(n.to_string(), "-x3");
+        assert!(p.eval(|_| true));
+        assert!(!p.eval(|_| false));
+        assert!(n.eval(|_| false));
+    }
+
+    #[test]
+    fn cnf_basics() {
+        let mut cnf = Cnf::new(0);
+        assert!(cnf.is_empty());
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause([Lit::positive(a), Lit::negative(b)]);
+        cnf.add_clause([Lit::positive(b)]);
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.len(), 2);
+        assert!(cnf.eval(|_| true));
+        assert!(!cnf.eval(|v| v == b));
+        let dimacs = cnf.to_dimacs();
+        assert!(dimacs.starts_with("p cnf 2 2"));
+        assert!(dimacs.contains("1 -2 0"));
+    }
+
+    #[test]
+    fn add_clause_grows_num_vars() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause([Lit::positive(9)]);
+        assert_eq!(cnf.num_vars, 10);
+    }
+
+    /// Brute-force check: the Tseitin encoding is equisatisfiable with the
+    /// original expression, and projections onto the original variables agree.
+    fn check_equisatisfiable(text: &str) {
+        let mut pool = VarPool::new();
+        let expr = parse_expr(text, &mut pool).unwrap();
+        let mut enc = TseitinEncoder::new();
+        let root = enc.encode(&expr);
+        enc.assert_literal(root);
+        let var_map = enc.var_map().clone();
+        let cnf = enc.into_cnf();
+
+        let spec_vars: Vec<_> = expr.vars().into_iter().collect();
+
+        // For every assignment of the original variables: expr is true  iff
+        // the CNF has a model extending that assignment.
+        for mask in 0u64..(1 << spec_vars.len()) {
+            let spec_val = |v: crate::VarId| {
+                let pos = spec_vars.iter().position(|&x| x == v).unwrap();
+                mask & (1 << pos) != 0
+            };
+            let expr_value = expr.eval_with(spec_val);
+
+            // Enumerate auxiliary variables (those not mapped from spec vars).
+            let aux: Vec<u32> = (0..cnf.num_vars)
+                .filter(|v| !var_map.values().any(|mv| mv == v))
+                .collect();
+            assert!(aux.len() <= 16, "too many aux vars for brute force");
+            let mut sat = false;
+            for aux_mask in 0u64..(1 << aux.len()) {
+                let value_of = |v: u32| {
+                    if let Some((spec, _)) = var_map.iter().find(|(_, &mv)| mv == v) {
+                        spec_val(*spec)
+                    } else {
+                        let pos = aux.iter().position(|&x| x == v).unwrap();
+                        aux_mask & (1 << pos) != 0
+                    }
+                };
+                if cnf.eval(value_of) {
+                    sat = true;
+                    break;
+                }
+            }
+            assert_eq!(expr_value, sat, "disagreement on {text} with mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn tseitin_equisatisfiable_small_formulas() {
+        for text in [
+            "a",
+            "!a",
+            "a & b",
+            "a | b",
+            "a -> b",
+            "a <-> b",
+            "a ^ b",
+            "if a then b else c",
+            "a & !a",
+            "(a | b) & (!a | c)",
+            "a & b -> !c | a",
+        ] {
+            check_equisatisfiable(text);
+        }
+    }
+
+    #[test]
+    fn constants_encode_correctly() {
+        let mut enc = TseitinEncoder::new();
+        let t = enc.encode(&Expr::TRUE);
+        enc.assert_literal(t);
+        let cnf = enc.cnf().clone();
+        assert!(cnf.eval(|_| true) || cnf.eval(|_| false));
+
+        let mut enc = TseitinEncoder::new();
+        let f = enc.encode(&Expr::FALSE);
+        enc.assert_literal(f);
+        let cnf = enc.into_cnf();
+        // Forced false and asserted true: unsatisfiable for every valuation
+        // of its single variable.
+        assert!(!cnf.eval(|_| true) && !cnf.eval(|_| false));
+    }
+
+    #[test]
+    fn var_map_is_stable() {
+        let mut pool = VarPool::new();
+        let e = parse_expr("a & b & a", &mut pool).unwrap();
+        let mut enc = TseitinEncoder::new();
+        enc.encode(&e);
+        assert_eq!(enc.var_map().len(), 2);
+    }
+}

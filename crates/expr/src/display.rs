@@ -1,0 +1,210 @@
+//! Pretty printing of expressions in the textual specification syntax.
+//!
+//! The printed form round-trips through [`crate::parser::parse_expr`]:
+//! `parse(print(e))` is semantically equal to `e`.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::vars::VarPool;
+
+/// Operator precedence used by both the printer and the parser.
+///
+/// Higher binds tighter. `¬` > `∧` > `∨` > `→` > `↔`.
+pub(crate) fn precedence(expr: &Expr) -> u8 {
+    match expr {
+        Expr::Const(_) | Expr::Var(_) => 6,
+        Expr::Not(_) => 5,
+        Expr::And(_) => 4,
+        Expr::Xor(_, _) => 3,
+        Expr::Or(_) => 3,
+        Expr::Implies(_, _) => 2,
+        Expr::Iff(_, _) => 1,
+        Expr::Ite(_, _, _) => 0,
+    }
+}
+
+/// Display adaptor produced by [`Expr::display`].
+#[derive(Debug)]
+pub struct DisplayExpr<'a> {
+    expr: &'a Expr,
+    pool: &'a VarPool,
+}
+
+impl Expr {
+    /// Renders the expression using the variable names in `pool`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ipcl_expr::{Expr, VarPool};
+    ///
+    /// let mut pool = VarPool::new();
+    /// let a = Expr::var(pool.var("a"));
+    /// let b = Expr::var(pool.var("b"));
+    /// let e = Expr::implies(Expr::and([a, Expr::not(b)]), Expr::FALSE);
+    /// assert_eq!(e.display(&pool).to_string(), "!(a & !b)");
+    /// ```
+    pub fn display<'a>(&'a self, pool: &'a VarPool) -> DisplayExpr<'a> {
+        DisplayExpr { expr: self, pool }
+    }
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self.expr, self.pool, 0)
+    }
+}
+
+fn write_child(
+    f: &mut fmt::Formatter<'_>,
+    child: &Expr,
+    pool: &VarPool,
+    parent_prec: u8,
+) -> fmt::Result {
+    if precedence(child) < parent_prec {
+        write!(f, "(")?;
+        write_expr(f, child, pool, 0)?;
+        write!(f, ")")
+    } else {
+        write_expr(f, child, pool, parent_prec)
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, expr: &Expr, pool: &VarPool, _min: u8) -> fmt::Result {
+    match expr {
+        Expr::Const(true) => write!(f, "true"),
+        Expr::Const(false) => write!(f, "false"),
+        Expr::Var(v) => write!(f, "{}", pool.name_or_fallback(*v)),
+        Expr::Not(e) => {
+            write!(f, "!")?;
+            // Negation binds tighter than everything, so parenthesise any
+            // non-atomic child.
+            if precedence(e) < 5 {
+                write!(f, "(")?;
+                write_expr(f, e, pool, 0)?;
+                write!(f, ")")
+            } else {
+                write_expr(f, e, pool, 5)
+            }
+        }
+        Expr::And(ops) => {
+            for (i, op) in ops.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write_child(f, op, pool, 5)?;
+            }
+            Ok(())
+        }
+        Expr::Or(ops) => {
+            for (i, op) in ops.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write_child(f, op, pool, 4)?;
+            }
+            Ok(())
+        }
+        Expr::Xor(l, r) => {
+            write_child(f, l, pool, 4)?;
+            write!(f, " ^ ")?;
+            write_child(f, r, pool, 4)
+        }
+        Expr::Implies(l, r) => {
+            // Implication is right-associative; require strictly higher
+            // precedence on the left.
+            write_child(f, l, pool, 3)?;
+            write!(f, " -> ")?;
+            write_child(f, r, pool, 2)
+        }
+        Expr::Iff(l, r) => {
+            write_child(f, l, pool, 2)?;
+            write!(f, " <-> ")?;
+            write_child(f, r, pool, 2)
+        }
+        Expr::Ite(c, t, e) => {
+            write!(f, "if ")?;
+            write_child(f, c, pool, 1)?;
+            write!(f, " then ")?;
+            write_child(f, t, pool, 1)?;
+            write!(f, " else ")?;
+            write_child(f, e, pool, 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::vars::VarPool;
+
+    fn roundtrip(text: &str) {
+        let mut pool = VarPool::new();
+        let e = parse_expr(text, &mut pool).unwrap();
+        let printed = e.display(&pool).to_string();
+        let reparsed = parse_expr(&printed, &mut pool).unwrap();
+        assert!(
+            crate::expr::semantically_equal(&e, &reparsed),
+            "{text} printed as {printed}"
+        );
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        let mut pool = VarPool::new();
+        let a = Expr::var(pool.var("long.1.moe"));
+        assert_eq!(Expr::TRUE.display(&pool).to_string(), "true");
+        assert_eq!(Expr::FALSE.display(&pool).to_string(), "false");
+        assert_eq!(a.display(&pool).to_string(), "long.1.moe");
+    }
+
+    #[test]
+    fn parenthesisation_of_or_under_and() {
+        let mut pool = VarPool::new();
+        let a = Expr::var(pool.var("a"));
+        let b = Expr::var(pool.var("b"));
+        let c = Expr::var(pool.var("c"));
+        let e = Expr::and([Expr::or([a, b]), c]);
+        assert_eq!(e.display(&pool).to_string(), "(a | b) & c");
+    }
+
+    #[test]
+    fn negation_of_compound() {
+        let mut pool = VarPool::new();
+        let a = Expr::var(pool.var("a"));
+        let b = Expr::var(pool.var("b"));
+        let e = Expr::Not(Expr::and([a, b]).into());
+        assert_eq!(e.display(&pool).to_string(), "!(a & b)");
+    }
+
+    #[test]
+    fn implication_chain() {
+        let mut pool = VarPool::new();
+        let a = Expr::var(pool.var("a"));
+        let b = Expr::var(pool.var("b"));
+        let c = Expr::var(pool.var("c"));
+        let e = Expr::Implies(a.into(), Expr::Implies(b.into(), c.into()).into());
+        assert_eq!(e.display(&pool).to_string(), "a -> b -> c");
+    }
+
+    #[test]
+    fn printed_form_reparses_semantically_equal() {
+        for text in [
+            "a",
+            "!a",
+            "a & b & c",
+            "a | b & c",
+            "(a | b) & c",
+            "a -> !b -> c",
+            "a <-> b | c",
+            "a ^ b ^ c",
+            "if a then b else c & d",
+            "!(a -> b)",
+            "a & (b -> c) | !d",
+        ] {
+            roundtrip(text);
+        }
+    }
+}

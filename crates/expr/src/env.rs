@@ -1,0 +1,207 @@
+//! Assignments (partial valuations) of variables to boolean values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::vars::{VarId, VarPool};
+
+/// Error produced when evaluating an expression under a partial assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A variable required by the expression has no value.
+    Unassigned(VarId),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unassigned(v) => write!(f, "variable {v} has no assigned value"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A partial mapping from variables to boolean values.
+///
+/// Assignments are the counterexamples reported by the checkers and the
+/// per-cycle signal snapshots the simulation monitors evaluate assertions
+/// over.
+///
+/// # Example
+///
+/// ```
+/// use ipcl_expr::{Assignment, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let moe = pool.var("long.1.moe");
+/// let mut env = Assignment::new();
+/// env.set(moe, false);
+/// assert_eq!(env.get(moe), Some(false));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: BTreeMap<VarId, bool>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an assignment from `(variable, value)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (VarId, bool)>>(pairs: I) -> Self {
+        Assignment {
+            values: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Sets `var` to `value`, returning the previous value if any.
+    pub fn set(&mut self, var: VarId, value: bool) -> Option<bool> {
+        self.values.insert(var, value)
+    }
+
+    /// Removes the value of `var`, returning it if it was set.
+    pub fn unset(&mut self, var: VarId) -> Option<bool> {
+        self.values.remove(&var)
+    }
+
+    /// The value of `var`, if assigned.
+    pub fn get(&self, var: VarId) -> Option<bool> {
+        self.values.get(&var).copied()
+    }
+
+    /// The value of `var`, defaulting to `false` when unassigned.
+    ///
+    /// Matches hardware semantics where an unconnected control signal reads as
+    /// logic zero.
+    pub fn get_or_false(&self, var: VarId) -> bool {
+        self.get(var).unwrap_or(false)
+    }
+
+    /// Whether `var` has a value.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.values.contains_key(&var)
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, bool)> + '_ {
+        self.values.iter().map(|(&v, &b)| (v, b))
+    }
+
+    /// Merges `other` into `self`; values in `other` win on conflict.
+    pub fn extend_from(&mut self, other: &Assignment) {
+        for (v, b) in other.iter() {
+            self.values.insert(v, b);
+        }
+    }
+
+    /// Renders the assignment with human-readable variable names.
+    pub fn display_with<'a>(&'a self, pool: &'a VarPool) -> DisplayAssignment<'a> {
+        DisplayAssignment { env: self, pool }
+    }
+}
+
+impl FromIterator<(VarId, bool)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (VarId, bool)>>(iter: I) -> Self {
+        Assignment::from_pairs(iter)
+    }
+}
+
+impl Extend<(VarId, bool)> for Assignment {
+    fn extend<I: IntoIterator<Item = (VarId, bool)>>(&mut self, iter: I) {
+        for (v, b) in iter {
+            self.values.insert(v, b);
+        }
+    }
+}
+
+/// Helper returned by [`Assignment::display_with`].
+#[derive(Debug)]
+pub struct DisplayAssignment<'a> {
+    env: &'a Assignment,
+    pool: &'a VarPool,
+}
+
+impl fmt::Display for DisplayAssignment<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for (v, b) in self.env.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}={}", self.pool.name_or_fallback(v), if b { 1 } else { 0 })?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut env = Assignment::new();
+        assert!(env.is_empty());
+        assert_eq!(env.set(VarId(1), true), None);
+        assert_eq!(env.set(VarId(1), false), Some(true));
+        assert_eq!(env.get(VarId(1)), Some(false));
+        assert_eq!(env.get(VarId(2)), None);
+        assert!(env.get_or_false(VarId(2)) == false);
+        assert!(env.contains(VarId(1)));
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.unset(VarId(1)), Some(false));
+        assert!(env.is_empty());
+    }
+
+    #[test]
+    fn from_pairs_and_iter() {
+        let env = Assignment::from_pairs([(VarId(2), true), (VarId(0), false)]);
+        let pairs: Vec<(VarId, bool)> = env.iter().collect();
+        assert_eq!(pairs, vec![(VarId(0), false), (VarId(2), true)]);
+        let collected: Assignment = pairs.into_iter().collect();
+        assert_eq!(collected, env);
+    }
+
+    #[test]
+    fn extend_overwrites() {
+        let mut a = Assignment::from_pairs([(VarId(0), false)]);
+        let b = Assignment::from_pairs([(VarId(0), true), (VarId(1), true)]);
+        a.extend_from(&b);
+        assert_eq!(a.get(VarId(0)), Some(true));
+        assert_eq!(a.get(VarId(1)), Some(true));
+        let mut c = Assignment::new();
+        c.extend([(VarId(5), true)]);
+        assert_eq!(c.get(VarId(5)), Some(true));
+    }
+
+    #[test]
+    fn display_with_names() {
+        let mut pool = VarPool::new();
+        let a = pool.var("long.1.moe");
+        let b = pool.var("op_is_wait");
+        let env = Assignment::from_pairs([(a, true), (b, false)]);
+        let s = env.display_with(&pool).to_string();
+        assert_eq!(s, "{long.1.moe=1, op_is_wait=0}");
+    }
+
+    #[test]
+    fn eval_error_display() {
+        let err = EvalError::Unassigned(VarId(3));
+        assert!(err.to_string().contains("v3"));
+    }
+}

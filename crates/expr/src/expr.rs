@@ -1,0 +1,621 @@
+//! The boolean expression AST and its fundamental operations.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::env::{Assignment, EvalError};
+use crate::vars::VarId;
+
+/// A boolean expression over interned variables.
+///
+/// Expressions are immutable trees; n-ary conjunction and disjunction are kept
+/// flat (`And`/`Or` carry a vector of operands) because interlock
+/// specifications are naturally written as long conjunctions of stall rules
+/// and long disjunctions of stall causes.
+///
+/// The smart constructors ([`Expr::and`], [`Expr::or`], [`Expr::not`], …)
+/// perform the cheap, always-valid simplifications (constant absorption,
+/// double negation, flattening); heavier rewriting lives in
+/// [`crate::simplify`].
+///
+/// # Example
+///
+/// ```
+/// use ipcl_expr::{Expr, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let rtm = Expr::var(pool.var("long.3.rtm"));
+/// let moe_next = Expr::var(pool.var("long.4.moe"));
+/// let rule = Expr::implies(Expr::and([rtm, Expr::not(moe_next)]),
+///                          Expr::not(Expr::var(pool.var("long.3.moe"))));
+/// assert_eq!(rule.vars().len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A boolean constant.
+    Const(bool),
+    /// A variable reference.
+    Var(VarId),
+    /// Logical negation.
+    Not(Arc<Expr>),
+    /// N-ary conjunction. Empty conjunction is `true`.
+    And(Vec<Expr>),
+    /// N-ary disjunction. Empty disjunction is `false`.
+    Or(Vec<Expr>),
+    /// Implication `lhs → rhs`.
+    Implies(Arc<Expr>, Arc<Expr>),
+    /// Bi-implication `lhs ↔ rhs`.
+    Iff(Arc<Expr>, Arc<Expr>),
+    /// Exclusive or.
+    Xor(Arc<Expr>, Arc<Expr>),
+    /// If-then-else `cond ? then : els`.
+    Ite(Arc<Expr>, Arc<Expr>, Arc<Expr>),
+}
+
+impl Expr {
+    /// The constant `true`.
+    pub const TRUE: Expr = Expr::Const(true);
+    /// The constant `false`.
+    pub const FALSE: Expr = Expr::Const(false);
+
+    /// A variable reference.
+    pub fn var(id: VarId) -> Expr {
+        Expr::Var(id)
+    }
+
+    /// Negation with double-negation and constant elimination.
+    pub fn not(e: Expr) -> Expr {
+        match e {
+            Expr::Const(b) => Expr::Const(!b),
+            Expr::Not(inner) => inner.as_ref().clone(),
+            other => Expr::Not(Arc::new(other)),
+        }
+    }
+
+    /// N-ary conjunction with flattening and constant absorption.
+    ///
+    /// `and([])` is `true`; any `false` operand collapses the result.
+    pub fn and<I: IntoIterator<Item = Expr>>(operands: I) -> Expr {
+        let mut flat = Vec::new();
+        for op in operands {
+            match op {
+                Expr::Const(true) => {}
+                Expr::Const(false) => return Expr::FALSE,
+                Expr::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::TRUE,
+            1 => flat.pop().expect("length checked"),
+            _ => Expr::And(flat),
+        }
+    }
+
+    /// N-ary disjunction with flattening and constant absorption.
+    ///
+    /// `or([])` is `false`; any `true` operand collapses the result.
+    pub fn or<I: IntoIterator<Item = Expr>>(operands: I) -> Expr {
+        let mut flat = Vec::new();
+        for op in operands {
+            match op {
+                Expr::Const(false) => {}
+                Expr::Const(true) => return Expr::TRUE,
+                Expr::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::FALSE,
+            1 => flat.pop().expect("length checked"),
+            _ => Expr::Or(flat),
+        }
+    }
+
+    /// Implication `lhs → rhs` with constant short-circuiting.
+    pub fn implies(lhs: Expr, rhs: Expr) -> Expr {
+        match (&lhs, &rhs) {
+            (Expr::Const(false), _) | (_, Expr::Const(true)) => Expr::TRUE,
+            (Expr::Const(true), _) => rhs,
+            (_, Expr::Const(false)) => Expr::not(lhs),
+            _ => Expr::Implies(Arc::new(lhs), Arc::new(rhs)),
+        }
+    }
+
+    /// Bi-implication `lhs ↔ rhs` with constant short-circuiting.
+    pub fn iff(lhs: Expr, rhs: Expr) -> Expr {
+        match (&lhs, &rhs) {
+            (Expr::Const(true), _) => rhs,
+            (_, Expr::Const(true)) => lhs,
+            (Expr::Const(false), _) => Expr::not(rhs),
+            (_, Expr::Const(false)) => Expr::not(lhs),
+            _ => Expr::Iff(Arc::new(lhs), Arc::new(rhs)),
+        }
+    }
+
+    /// Exclusive or with constant short-circuiting.
+    pub fn xor(lhs: Expr, rhs: Expr) -> Expr {
+        match (&lhs, &rhs) {
+            (Expr::Const(false), _) => rhs,
+            (_, Expr::Const(false)) => lhs,
+            (Expr::Const(true), _) => Expr::not(rhs),
+            (_, Expr::Const(true)) => Expr::not(lhs),
+            _ => Expr::Xor(Arc::new(lhs), Arc::new(rhs)),
+        }
+    }
+
+    /// If-then-else with constant short-circuiting on the condition.
+    pub fn ite(cond: Expr, then: Expr, els: Expr) -> Expr {
+        match cond {
+            Expr::Const(true) => then,
+            Expr::Const(false) => els,
+            c => Expr::Ite(Arc::new(c), Arc::new(then), Arc::new(els)),
+        }
+    }
+
+    /// Whether this expression is the constant `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Expr::Const(true))
+    }
+
+    /// Whether this expression is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Expr::Const(false))
+    }
+
+    /// Evaluates the expression under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Unassigned`] if a variable of the expression has no
+    /// value in `env`.
+    pub fn eval(&self, env: &Assignment) -> Result<bool, EvalError> {
+        match self {
+            Expr::Const(b) => Ok(*b),
+            Expr::Var(v) => env.get(*v).ok_or(EvalError::Unassigned(*v)),
+            Expr::Not(e) => Ok(!e.eval(env)?),
+            Expr::And(ops) => {
+                for op in ops {
+                    if !op.eval(env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Expr::Or(ops) => {
+                for op in ops {
+                    if op.eval(env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Expr::Implies(l, r) => Ok(!l.eval(env)? || r.eval(env)?),
+            Expr::Iff(l, r) => Ok(l.eval(env)? == r.eval(env)?),
+            Expr::Xor(l, r) => Ok(l.eval(env)? != r.eval(env)?),
+            Expr::Ite(c, t, e) => {
+                if c.eval(env)? {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression with a total valuation function.
+    ///
+    /// This is the hot path of the fixed-point engine, so it never allocates.
+    pub fn eval_with<F: Fn(VarId) -> bool + Copy>(&self, valuation: F) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(v) => valuation(*v),
+            Expr::Not(e) => !e.eval_with(valuation),
+            Expr::And(ops) => ops.iter().all(|op| op.eval_with(valuation)),
+            Expr::Or(ops) => ops.iter().any(|op| op.eval_with(valuation)),
+            Expr::Implies(l, r) => !l.eval_with(valuation) || r.eval_with(valuation),
+            Expr::Iff(l, r) => l.eval_with(valuation) == r.eval_with(valuation),
+            Expr::Xor(l, r) => l.eval_with(valuation) != r.eval_with(valuation),
+            Expr::Ite(c, t, e) => {
+                if c.eval_with(valuation) {
+                    t.eval_with(valuation)
+                } else {
+                    e.eval_with(valuation)
+                }
+            }
+        }
+    }
+
+    /// The set of variables occurring in the expression.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Collects variables into `out` without allocating a fresh set.
+    pub fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                out.insert(*v);
+            }
+            Expr::Not(e) => e.collect_vars(out),
+            Expr::And(ops) | Expr::Or(ops) => {
+                for op in ops {
+                    op.collect_vars(out);
+                }
+            }
+            Expr::Implies(l, r) | Expr::Iff(l, r) | Expr::Xor(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::Ite(c, t, e) => {
+                c.collect_vars(out);
+                t.collect_vars(out);
+                e.collect_vars(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes (a rough size metric used by benchmarks).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Not(e) => e.node_count(),
+            Expr::And(ops) | Expr::Or(ops) => ops.iter().map(Expr::node_count).sum(),
+            Expr::Implies(l, r) | Expr::Iff(l, r) | Expr::Xor(l, r) => {
+                l.node_count() + r.node_count()
+            }
+            Expr::Ite(c, t, e) => c.node_count() + t.node_count() + e.node_count(),
+        }
+    }
+
+    /// Depth of the AST.
+    pub fn depth(&self) -> usize {
+        1 + match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Not(e) => e.depth(),
+            Expr::And(ops) | Expr::Or(ops) => ops.iter().map(Expr::depth).max().unwrap_or(0),
+            Expr::Implies(l, r) | Expr::Iff(l, r) | Expr::Xor(l, r) => l.depth().max(r.depth()),
+            Expr::Ite(c, t, e) => c.depth().max(t.depth()).max(e.depth()),
+        }
+    }
+
+    /// Substitutes every occurrence of the mapped variables by the given
+    /// expressions, leaving other variables untouched.
+    pub fn substitute(&self, map: &dyn Fn(VarId) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Const(_) => self.clone(),
+            Expr::Var(v) => map(*v).unwrap_or_else(|| self.clone()),
+            Expr::Not(e) => Expr::not(e.substitute(map)),
+            Expr::And(ops) => Expr::and(ops.iter().map(|op| op.substitute(map))),
+            Expr::Or(ops) => Expr::or(ops.iter().map(|op| op.substitute(map))),
+            Expr::Implies(l, r) => Expr::implies(l.substitute(map), r.substitute(map)),
+            Expr::Iff(l, r) => Expr::iff(l.substitute(map), r.substitute(map)),
+            Expr::Xor(l, r) => Expr::xor(l.substitute(map), r.substitute(map)),
+            Expr::Ite(c, t, e) => {
+                Expr::ite(c.substitute(map), t.substitute(map), e.substitute(map))
+            }
+        }
+    }
+
+    /// Positive/negative cofactor: substitutes `var := value` and folds
+    /// constants.
+    pub fn cofactor(&self, var: VarId, value: bool) -> Expr {
+        self.substitute(&|v| (v == var).then_some(Expr::Const(value)))
+    }
+
+    /// Rewrites implication, bi-implication, xor and ite into ∧/∨/¬ form.
+    ///
+    /// The result is semantically equal and is the form the polarity analysis
+    /// and the NNF/CNF conversions operate on.
+    pub fn desugar(&self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => self.clone(),
+            Expr::Not(e) => Expr::not(e.desugar()),
+            Expr::And(ops) => Expr::and(ops.iter().map(Expr::desugar)),
+            Expr::Or(ops) => Expr::or(ops.iter().map(Expr::desugar)),
+            Expr::Implies(l, r) => Expr::or([Expr::not(l.desugar()), r.desugar()]),
+            Expr::Iff(l, r) => {
+                let (l, r) = (l.desugar(), r.desugar());
+                Expr::and([
+                    Expr::or([Expr::not(l.clone()), r.clone()]),
+                    Expr::or([l, Expr::not(r)]),
+                ])
+            }
+            Expr::Xor(l, r) => {
+                let (l, r) = (l.desugar(), r.desugar());
+                Expr::or([
+                    Expr::and([l.clone(), Expr::not(r.clone())]),
+                    Expr::and([Expr::not(l), r]),
+                ])
+            }
+            Expr::Ite(c, t, e) => {
+                let c = c.desugar();
+                Expr::or([
+                    Expr::and([c.clone(), t.desugar()]),
+                    Expr::and([Expr::not(c), e.desugar()]),
+                ])
+            }
+        }
+    }
+
+    /// Negation normal form: desugars and pushes negations to the leaves.
+    pub fn to_nnf(&self) -> Expr {
+        fn nnf(e: &Expr, negate: bool) -> Expr {
+            match e {
+                Expr::Const(b) => Expr::Const(*b != negate),
+                Expr::Var(v) => {
+                    if negate {
+                        Expr::Not(Arc::new(Expr::Var(*v)))
+                    } else {
+                        Expr::Var(*v)
+                    }
+                }
+                Expr::Not(inner) => nnf(inner, !negate),
+                Expr::And(ops) => {
+                    let children = ops.iter().map(|op| nnf(op, negate));
+                    if negate {
+                        Expr::or(children)
+                    } else {
+                        Expr::and(children)
+                    }
+                }
+                Expr::Or(ops) => {
+                    let children = ops.iter().map(|op| nnf(op, negate));
+                    if negate {
+                        Expr::and(children)
+                    } else {
+                        Expr::or(children)
+                    }
+                }
+                other => nnf(&other.desugar(), negate),
+            }
+        }
+        nnf(self, false)
+    }
+}
+
+impl Default for Expr {
+    /// The default expression is `true` (the empty conjunction), matching the
+    /// identity of specification conjunction.
+    fn default() -> Self {
+        Expr::TRUE
+    }
+}
+
+impl From<bool> for Expr {
+    fn from(b: bool) -> Self {
+        Expr::Const(b)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(v: VarId) -> Self {
+        Expr::Var(v)
+    }
+}
+
+/// Exhaustively checks semantic equality of two expressions over the union of
+/// their variables.
+///
+/// Intended for tests and for the small specification formulas of this domain
+/// (the cost is `2^n` evaluations); larger equivalences should go through
+/// `ipcl-bdd` or `ipcl-sat`.
+pub fn semantically_equal(a: &Expr, b: &Expr) -> bool {
+    let mut vars: Vec<VarId> = a.vars().union(&b.vars()).copied().collect();
+    vars.sort_unstable();
+    assert!(
+        vars.len() <= 24,
+        "semantically_equal is exponential; got {} variables",
+        vars.len()
+    );
+    for mask in 0u64..(1u64 << vars.len()) {
+        let valuation = |v: VarId| {
+            let pos = vars.iter().position(|&x| x == v).expect("var in union");
+            mask & (1 << pos) != 0
+        };
+        if a.eval_with(valuation) != b.eval_with(valuation) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exhaustively checks that `a → b` is valid (every model of `a` satisfies `b`).
+///
+/// Same cost caveat as [`semantically_equal`].
+pub fn semantically_implies(a: &Expr, b: &Expr) -> bool {
+    semantically_equal(&Expr::implies(a.clone(), b.clone()), &Expr::TRUE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::VarPool;
+
+    fn abc() -> (VarPool, VarId, VarId, VarId) {
+        let mut pool = VarPool::new();
+        let a = pool.var("a");
+        let b = pool.var("b");
+        let c = pool.var("c");
+        (pool, a, b, c)
+    }
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        let (_, a, _, _) = abc();
+        assert_eq!(Expr::and([Expr::TRUE, Expr::var(a)]), Expr::var(a));
+        assert_eq!(Expr::and([Expr::FALSE, Expr::var(a)]), Expr::FALSE);
+        assert_eq!(Expr::or([Expr::FALSE, Expr::var(a)]), Expr::var(a));
+        assert_eq!(Expr::or([Expr::TRUE, Expr::var(a)]), Expr::TRUE);
+        assert_eq!(Expr::and::<[Expr; 0]>([]), Expr::TRUE);
+        assert_eq!(Expr::or::<[Expr; 0]>([]), Expr::FALSE);
+        assert_eq!(Expr::not(Expr::not(Expr::var(a))), Expr::var(a));
+        assert_eq!(Expr::not(Expr::TRUE), Expr::FALSE);
+        assert_eq!(Expr::implies(Expr::FALSE, Expr::var(a)), Expr::TRUE);
+        assert_eq!(Expr::implies(Expr::var(a), Expr::TRUE), Expr::TRUE);
+        assert_eq!(Expr::implies(Expr::TRUE, Expr::var(a)), Expr::var(a));
+        assert_eq!(
+            Expr::implies(Expr::var(a), Expr::FALSE),
+            Expr::not(Expr::var(a))
+        );
+        assert_eq!(Expr::iff(Expr::TRUE, Expr::var(a)), Expr::var(a));
+        assert_eq!(Expr::xor(Expr::FALSE, Expr::var(a)), Expr::var(a));
+        assert_eq!(Expr::ite(Expr::TRUE, Expr::var(a), Expr::FALSE), Expr::var(a));
+    }
+
+    #[test]
+    fn nary_flattening() {
+        let (_, a, b, c) = abc();
+        let e = Expr::and([
+            Expr::and([Expr::var(a), Expr::var(b)]),
+            Expr::var(c),
+        ]);
+        assert_eq!(e, Expr::And(vec![Expr::var(a), Expr::var(b), Expr::var(c)]));
+        let e = Expr::or([Expr::or([Expr::var(a), Expr::var(b)]), Expr::var(c)]);
+        assert_eq!(e, Expr::Or(vec![Expr::var(a), Expr::var(b), Expr::var(c)]));
+    }
+
+    #[test]
+    fn eval_all_connectives() {
+        let (_, a, b, _) = abc();
+        let mut env = Assignment::new();
+        env.set(a, true);
+        env.set(b, false);
+        assert_eq!(Expr::var(a).eval(&env), Ok(true));
+        assert_eq!(Expr::not(Expr::var(a)).eval(&env), Ok(false));
+        assert_eq!(Expr::and([Expr::var(a), Expr::var(b)]).eval(&env), Ok(false));
+        assert_eq!(Expr::or([Expr::var(a), Expr::var(b)]).eval(&env), Ok(true));
+        assert_eq!(
+            Expr::implies(Expr::var(a), Expr::var(b)).eval(&env),
+            Ok(false)
+        );
+        assert_eq!(Expr::iff(Expr::var(a), Expr::var(b)).eval(&env), Ok(false));
+        assert_eq!(Expr::xor(Expr::var(a), Expr::var(b)).eval(&env), Ok(true));
+        assert_eq!(
+            Expr::ite(Expr::var(a), Expr::var(b), Expr::TRUE).eval(&env),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn eval_reports_unassigned() {
+        let (_, a, b, _) = abc();
+        let mut env = Assignment::new();
+        env.set(a, true);
+        assert_eq!(
+            Expr::and([Expr::var(a), Expr::var(b)]).eval(&env),
+            Err(EvalError::Unassigned(b))
+        );
+    }
+
+    #[test]
+    fn eval_with_matches_eval() {
+        let (_, a, b, c) = abc();
+        let e = Expr::implies(
+            Expr::and([Expr::var(a), Expr::not(Expr::var(b))]),
+            Expr::var(c),
+        );
+        for mask in 0..8u32 {
+            let val = |v: VarId| mask & (1 << v.0) != 0;
+            let mut env = Assignment::new();
+            for v in [a, b, c] {
+                env.set(v, val(v));
+            }
+            assert_eq!(e.eval(&env).unwrap(), e.eval_with(val));
+        }
+    }
+
+    #[test]
+    fn vars_and_metrics() {
+        let (_, a, b, c) = abc();
+        let e = Expr::ite(Expr::var(a), Expr::var(b), Expr::xor(Expr::var(c), Expr::var(a)));
+        let vars = e.vars();
+        assert_eq!(vars.len(), 3);
+        assert!(e.node_count() >= 5);
+        assert!(e.depth() >= 2);
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion() {
+        let (_, a, b, c) = abc();
+        let e = Expr::or([
+            Expr::and([Expr::var(a), Expr::var(b)]),
+            Expr::and([Expr::not(Expr::var(a)), Expr::var(c)]),
+        ]);
+        // Shannon: e == ite(a, e|a=1, e|a=0)
+        let expanded = Expr::ite(Expr::var(a), e.cofactor(a, true), e.cofactor(a, false));
+        assert!(semantically_equal(&e, &expanded));
+        assert!(semantically_equal(&e.cofactor(a, true), &Expr::var(b)));
+        assert!(semantically_equal(&e.cofactor(a, false), &Expr::var(c)));
+    }
+
+    #[test]
+    fn substitute_replaces_variables() {
+        let (_, a, b, c) = abc();
+        let e = Expr::and([Expr::var(a), Expr::var(b)]);
+        let substituted = e.substitute(&|v| (v == a).then_some(Expr::var(c)));
+        assert_eq!(substituted, Expr::and([Expr::var(c), Expr::var(b)]));
+    }
+
+    #[test]
+    fn desugar_preserves_semantics() {
+        let (_, a, b, c) = abc();
+        let exprs = [
+            Expr::implies(Expr::var(a), Expr::var(b)),
+            Expr::iff(Expr::var(a), Expr::var(b)),
+            Expr::xor(Expr::var(a), Expr::var(b)),
+            Expr::ite(Expr::var(a), Expr::var(b), Expr::var(c)),
+        ];
+        for e in exprs {
+            let d = e.desugar();
+            assert!(semantically_equal(&e, &d), "{e:?} vs {d:?}");
+            assert!(!matches!(
+                d,
+                Expr::Implies(..) | Expr::Iff(..) | Expr::Xor(..) | Expr::Ite(..)
+            ));
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_semantics_and_pushes_negation() {
+        let (_, a, b, c) = abc();
+        let e = Expr::not(Expr::implies(
+            Expr::iff(Expr::var(a), Expr::var(b)),
+            Expr::xor(Expr::var(b), Expr::var(c)),
+        ));
+        let n = e.to_nnf();
+        assert!(semantically_equal(&e, &n));
+        fn negations_only_on_leaves(e: &Expr) -> bool {
+            match e {
+                Expr::Not(inner) => matches!(inner.as_ref(), Expr::Var(_)),
+                Expr::And(ops) | Expr::Or(ops) => ops.iter().all(negations_only_on_leaves),
+                Expr::Const(_) | Expr::Var(_) => true,
+                _ => false,
+            }
+        }
+        assert!(negations_only_on_leaves(&n), "{n:?}");
+    }
+
+    #[test]
+    fn semantic_helpers() {
+        let (_, a, b, _) = abc();
+        assert!(semantically_implies(
+            &Expr::and([Expr::var(a), Expr::var(b)]),
+            &Expr::var(a)
+        ));
+        assert!(!semantically_implies(
+            &Expr::var(a),
+            &Expr::and([Expr::var(a), Expr::var(b)])
+        ));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Expr::from(true), Expr::TRUE);
+        assert_eq!(Expr::from(VarId(3)), Expr::Var(VarId(3)));
+        assert_eq!(Expr::default(), Expr::TRUE);
+    }
+}

@@ -1,0 +1,241 @@
+//! Structural simplification of expressions.
+//!
+//! The simplifier performs semantics-preserving rewrites that keep the printed
+//! specifications readable: constant folding, idempotence, absorption,
+//! complement detection within one conjunction/disjunction level, and removal
+//! of duplicate operands. It is deliberately *not* a canonicaliser — use
+//! `ipcl-bdd` when a canonical form is needed.
+
+use std::collections::BTreeSet;
+
+use crate::expr::Expr;
+
+/// Simplifies `expr` without changing its meaning.
+///
+/// # Example
+///
+/// ```
+/// use ipcl_expr::{simplify::simplify, Expr, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let a = Expr::var(pool.var("a"));
+/// let e = Expr::and([a.clone(), a.clone(), Expr::or([a.clone(), Expr::FALSE])]);
+/// assert_eq!(simplify(&e), a);
+/// ```
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Const(_) | Expr::Var(_) => expr.clone(),
+        Expr::Not(e) => Expr::not(simplify(e)),
+        Expr::And(ops) => simplify_nary(ops, true),
+        Expr::Or(ops) => simplify_nary(ops, false),
+        Expr::Implies(l, r) => Expr::implies(simplify(l), simplify(r)),
+        Expr::Iff(l, r) => {
+            let (l, r) = (simplify(l), simplify(r));
+            if l == r {
+                Expr::TRUE
+            } else if l == Expr::not(r.clone()) {
+                Expr::FALSE
+            } else {
+                Expr::iff(l, r)
+            }
+        }
+        Expr::Xor(l, r) => {
+            let (l, r) = (simplify(l), simplify(r));
+            if l == r {
+                Expr::FALSE
+            } else if l == Expr::not(r.clone()) {
+                Expr::TRUE
+            } else {
+                Expr::xor(l, r)
+            }
+        }
+        Expr::Ite(c, t, e) => {
+            let (c, t, e) = (simplify(c), simplify(t), simplify(e));
+            if t == e {
+                t
+            } else {
+                Expr::ite(c, t, e)
+            }
+        }
+    }
+}
+
+/// Simplifies an n-ary conjunction (`conjunction == true`) or disjunction.
+fn simplify_nary(ops: &[Expr], conjunction: bool) -> Expr {
+    let simplified: Vec<Expr> = ops.iter().map(simplify).collect();
+    // Flatten through the smart constructor first (it also folds constants).
+    let flattened = if conjunction {
+        Expr::and(simplified)
+    } else {
+        Expr::or(simplified)
+    };
+    let children = match &flattened {
+        Expr::And(ops) if conjunction => ops.clone(),
+        Expr::Or(ops) if !conjunction => ops.clone(),
+        other => return other.clone(),
+    };
+
+    // Deduplicate operands while preserving order.
+    let mut seen = BTreeSet::new();
+    let mut unique = Vec::new();
+    for child in children {
+        let key = format!("{child:?}");
+        if seen.insert(key) {
+            unique.push(child);
+        }
+    }
+
+    // Complement detection: x and !x in one level collapse the whole node.
+    for child in &unique {
+        let negated = Expr::not(child.clone());
+        if unique.iter().any(|other| *other == negated) {
+            return Expr::Const(!conjunction);
+        }
+    }
+
+    // Absorption: a & (a | b) == a;  a | (a & b) == a.
+    let absorbed: Vec<Expr> = unique
+        .iter()
+        .filter(|child| {
+            !unique.iter().any(|other| {
+                if *child == other {
+                    return false;
+                }
+                match (conjunction, child) {
+                    (true, Expr::Or(inner)) => inner.contains(other),
+                    (false, Expr::And(inner)) => inner.contains(other),
+                    _ => false,
+                }
+            })
+        })
+        .cloned()
+        .collect();
+
+    if conjunction {
+        Expr::and(absorbed)
+    } else {
+        Expr::or(absorbed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::semantically_equal;
+    use crate::vars::{VarId, VarPool};
+
+    fn vars() -> (VarPool, Expr, Expr, Expr) {
+        let mut pool = VarPool::new();
+        let a = Expr::var(pool.var("a"));
+        let b = Expr::var(pool.var("b"));
+        let c = Expr::var(pool.var("c"));
+        (pool, a, b, c)
+    }
+
+    #[test]
+    fn idempotence() {
+        let (_, a, b, _) = vars();
+        let e = Expr::And(vec![a.clone(), a.clone(), b.clone()]);
+        assert_eq!(simplify(&e), Expr::and([a, b]));
+    }
+
+    #[test]
+    fn complement_collapses() {
+        let (_, a, b, _) = vars();
+        let e = Expr::And(vec![a.clone(), Expr::not(a.clone()), b.clone()]);
+        assert_eq!(simplify(&e), Expr::FALSE);
+        let e = Expr::Or(vec![a.clone(), Expr::not(a.clone()), b]);
+        assert_eq!(simplify(&e), Expr::TRUE);
+    }
+
+    #[test]
+    fn absorption() {
+        let (_, a, b, _) = vars();
+        let e = Expr::And(vec![a.clone(), Expr::or([a.clone(), b.clone()])]);
+        assert_eq!(simplify(&e), a.clone());
+        let e = Expr::Or(vec![a.clone(), Expr::and([a.clone(), b])]);
+        assert_eq!(simplify(&e), a);
+    }
+
+    #[test]
+    fn iff_and_xor_special_cases() {
+        let (_, a, _, _) = vars();
+        assert_eq!(simplify(&Expr::Iff(a.clone().into(), a.clone().into())), Expr::TRUE);
+        assert_eq!(simplify(&Expr::Xor(a.clone().into(), a.clone().into())), Expr::FALSE);
+        assert_eq!(
+            simplify(&Expr::Iff(a.clone().into(), Expr::not(a.clone()).into())),
+            Expr::FALSE
+        );
+        assert_eq!(
+            simplify(&Expr::Xor(a.clone().into(), Expr::not(a.clone()).into())),
+            Expr::TRUE
+        );
+    }
+
+    #[test]
+    fn ite_identical_branches() {
+        let (_, a, b, _) = vars();
+        let e = Expr::Ite(a.into(), b.clone().into(), b.clone().into());
+        assert_eq!(simplify(&e), b);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_on_random_formulas() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        fn random_expr(rng: &mut StdRng, depth: usize, nvars: u32) -> Expr {
+            if depth == 0 || rng.random_range(0..5) == 0 {
+                return match rng.random_range(0..4) {
+                    0 => Expr::TRUE,
+                    1 => Expr::FALSE,
+                    _ => Expr::var(VarId(rng.random_range(0..nvars))),
+                };
+            }
+            match rng.random_range(0..6) {
+                0 => Expr::not(random_expr(rng, depth - 1, nvars)),
+                1 => Expr::And(vec![
+                    random_expr(rng, depth - 1, nvars),
+                    random_expr(rng, depth - 1, nvars),
+                ]),
+                2 => Expr::Or(vec![
+                    random_expr(rng, depth - 1, nvars),
+                    random_expr(rng, depth - 1, nvars),
+                ]),
+                3 => Expr::Implies(
+                    random_expr(rng, depth - 1, nvars).into(),
+                    random_expr(rng, depth - 1, nvars).into(),
+                ),
+                4 => Expr::Iff(
+                    random_expr(rng, depth - 1, nvars).into(),
+                    random_expr(rng, depth - 1, nvars).into(),
+                ),
+                _ => Expr::Xor(
+                    random_expr(rng, depth - 1, nvars).into(),
+                    random_expr(rng, depth - 1, nvars).into(),
+                ),
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(0x1bc1);
+        for _ in 0..200 {
+            let e = random_expr(&mut rng, 4, 5);
+            let s = simplify(&e);
+            assert!(semantically_equal(&e, &s), "{e:?} simplified to {s:?}");
+            assert!(s.node_count() <= e.node_count() + 1);
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_samples() {
+        let (_, a, b, c) = vars();
+        let e = Expr::Or(vec![
+            Expr::And(vec![a.clone(), b.clone()]),
+            Expr::And(vec![a.clone(), b.clone()]),
+            c,
+        ]);
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,177 @@
+//! Interned boolean variables.
+//!
+//! Every signal referenced by a specification — `long.2.moe`, `scb[3]`,
+//! `c.regaddr[0]`, … — is interned once in a [`VarPool`] and referred to by a
+//! compact [`VarId`]. The pool owns the name strings; expressions and BDD/SAT
+//! engines only carry ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned boolean variable.
+///
+/// Ids are dense and start at zero, so they can index vectors directly
+/// (assignment vectors, BDD variable orders, …).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Returns the id as a `usize`, suitable for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(raw: u32) -> Self {
+        VarId(raw)
+    }
+}
+
+/// An interner mapping variable names to dense [`VarId`]s and back.
+///
+/// # Example
+///
+/// ```
+/// use ipcl_expr::VarPool;
+///
+/// let mut pool = VarPool::new();
+/// let a = pool.var("long.1.moe");
+/// let b = pool.var("long.1.moe");
+/// assert_eq!(a, b);
+/// assert_eq!(pool.name(a), Some("long.1.moe"));
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarPool {
+    names: Vec<String>,
+    index: HashMap<String, VarId>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Repeated calls with the same name
+    /// return the same id.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks a name up without interning it.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `id`, if `id` was allocated by this pool.
+    pub fn name(&self, id: VarId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Returns the name of `id`, or a positional fallback (`v<N>`) if unknown.
+    pub fn name_or_fallback(&self, id: VarId) -> String {
+        self.name(id)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("v{}", id.0))
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i as u32), n.as_str()))
+    }
+
+    /// All ids in allocation order.
+    pub fn ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len() as u32).map(VarId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut pool = VarPool::new();
+        let a = pool.var("a");
+        let b = pool.var("b");
+        let a2 = pool.var("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut pool = VarPool::new();
+        let ids: Vec<VarId> = (0..10).map(|i| pool.var(&format!("x{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(pool.ids().count(), 10);
+    }
+
+    #[test]
+    fn lookup_and_name() {
+        let mut pool = VarPool::new();
+        let a = pool.var("scb[3]");
+        assert_eq!(pool.lookup("scb[3]"), Some(a));
+        assert_eq!(pool.lookup("scb[4]"), None);
+        assert_eq!(pool.name(a), Some("scb[3]"));
+        assert_eq!(pool.name(VarId(42)), None);
+        assert_eq!(pool.name_or_fallback(VarId(42)), "v42");
+    }
+
+    #[test]
+    fn iter_yields_allocation_order() {
+        let mut pool = VarPool::new();
+        pool.var("a");
+        pool.var("b");
+        let collected: Vec<(VarId, String)> =
+            pool.iter().map(|(i, n)| (i, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(VarId(0), "a".to_owned()), (VarId(1), "b".to_owned())]
+        );
+    }
+
+    #[test]
+    fn display_of_var_id() {
+        assert_eq!(VarId(7).to_string(), "v7");
+        assert_eq!(VarId::from(3u32), VarId(3));
+    }
+
+    #[test]
+    fn empty_pool() {
+        let pool = VarPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+    }
+}

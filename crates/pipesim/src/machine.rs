@@ -1,0 +1,724 @@
+//! The cycle-accurate interlocked pipeline machine.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use ipcl_core::model::{SignalNames, StageRef};
+use ipcl_core::spec::SpecError;
+use ipcl_core::{ArchSpec, FunctionalSpec};
+use ipcl_expr::{Assignment, VarId};
+
+use crate::policy::{InterlockPolicy, MachineView, PolicyInputs};
+use crate::stats::SimStats;
+use crate::workload::{Op, Packet, Program};
+
+/// Errors produced when constructing a [`Machine`].
+#[derive(Debug)]
+pub enum MachineError {
+    /// The architecture description could not be turned into a functional
+    /// specification.
+    Spec(SpecError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Spec(e) => write!(f, "architecture specification error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Spec(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpecError> for MachineError {
+    fn from(e: SpecError) -> Self {
+        MachineError::Spec(e)
+    }
+}
+
+/// State of one pipe.
+#[derive(Clone, Debug)]
+struct PipeState {
+    name: String,
+    /// Stage occupancy; index 0 is stage 1 (issue).
+    stages: Vec<Option<Op>>,
+    /// Skid buffers for shunt stages (same indexing; `None` for non-shunt
+    /// stages means the buffer slot is unused and always empty).
+    skid: Vec<Option<Op>>,
+    shunt_stages: Vec<u32>,
+    completion_bus: Option<String>,
+    observes_wait: bool,
+    checks_scoreboard: bool,
+}
+
+impl PipeState {
+    fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn is_shunt(&self, stage_index: usize) -> bool {
+        self.shunt_stages.contains(&(stage_index as u32 + 1))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.stages.iter().all(Option::is_none) && self.skid.iter().all(Option::is_none)
+    }
+}
+
+/// The cycle-accurate machine: architectural state plus a pluggable interlock
+/// policy whose `moe` decisions control all data movement.
+///
+/// See the crate-level example for typical usage.
+pub struct Machine {
+    arch: ArchSpec,
+    spec: FunctionalSpec,
+    policy: Box<dyn InterlockPolicy>,
+    pipes: Vec<PipeState>,
+    scoreboard: Vec<bool>,
+    wait_remaining: u32,
+    cycle: u64,
+    stats: SimStats,
+    /// Cached variable ids for environment construction.
+    vars: EnvVars,
+}
+
+/// Pre-resolved variable ids of all environment signals.
+#[derive(Clone, Debug, Default)]
+struct EnvVars {
+    rtm: BTreeMap<String, VarId>,
+    req: BTreeMap<String, VarId>,
+    gnt: BTreeMap<String, VarId>,
+    outstanding: BTreeMap<String, VarId>,
+    shunt_full: BTreeMap<String, VarId>,
+    wait: Option<VarId>,
+}
+
+impl Machine {
+    /// Builds a machine for `arch` controlled by `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Spec`] if the architecture description cannot
+    /// be turned into a functional specification.
+    pub fn new(arch: &ArchSpec, policy: Box<dyn InterlockPolicy>) -> Result<Self, MachineError> {
+        let mut spec = arch.functional_spec()?;
+        let mut vars = EnvVars::default();
+        {
+            let pool = spec.pool_mut();
+            for pipe in &arch.pipes {
+                vars.req.insert(
+                    pipe.name.clone(),
+                    pool.var(&SignalNames::completion_request(&pipe.name)),
+                );
+                vars.gnt.insert(
+                    pipe.name.clone(),
+                    pool.var(&SignalNames::completion_grant(&pipe.name)),
+                );
+                vars.outstanding.insert(
+                    pipe.name.clone(),
+                    pool.var(&SignalNames::operand_outstanding(&pipe.name)),
+                );
+                for stage in 1..pipe.stages {
+                    let stage_ref = StageRef::new(&pipe.name, stage);
+                    vars.rtm
+                        .insert(stage_ref.prefix(), pool.var(&stage_ref.rtm()));
+                    if pipe.shunt_stages.contains(&stage) {
+                        vars.shunt_full
+                            .insert(stage_ref.prefix(), pool.var(&SignalNames::shunt_full(&stage_ref)));
+                    }
+                }
+            }
+            vars.wait = Some(pool.var(&SignalNames::wait_state()));
+        }
+        let pipes = arch
+            .pipes
+            .iter()
+            .map(|p| PipeState {
+                name: p.name.clone(),
+                stages: vec![None; p.stages as usize],
+                skid: vec![None; p.stages as usize],
+                shunt_stages: p.shunt_stages.clone(),
+                completion_bus: p.completion_bus.clone(),
+                observes_wait: p.observes_wait,
+                checks_scoreboard: p.checks_scoreboard,
+            })
+            .collect();
+        let policy_name = policy.name().to_owned();
+        Ok(Machine {
+            arch: arch.clone(),
+            spec,
+            policy,
+            pipes,
+            scoreboard: vec![false; arch.scoreboard_registers as usize],
+            wait_remaining: 0,
+            cycle: 0,
+            stats: SimStats {
+                policy: policy_name,
+                ..Default::default()
+            },
+            vars,
+        })
+    }
+
+    /// The functional specification generated for this machine's
+    /// architecture.
+    pub fn spec(&self) -> &FunctionalSpec {
+        &self.spec
+    }
+
+    /// The architecture description.
+    pub fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    /// Elapsed cycles since construction or [`Machine::reset`].
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Clears all architectural state and statistics.
+    pub fn reset(&mut self) {
+        for pipe in &mut self.pipes {
+            pipe.stages.iter_mut().for_each(|s| *s = None);
+            pipe.skid.iter_mut().for_each(|s| *s = None);
+        }
+        self.scoreboard.iter_mut().for_each(|b| *b = false);
+        self.wait_remaining = 0;
+        self.cycle = 0;
+        self.stats = SimStats {
+            policy: self.policy.name().to_owned(),
+            ..Default::default()
+        };
+    }
+
+    /// Runs the whole `program`, stopping when every packet has issued and
+    /// the pipeline has drained, or after `max_cycles`. Returns the final
+    /// statistics.
+    pub fn run_program(&mut self, program: &Program, max_cycles: u64) -> SimStats {
+        self.run_program_with_observer(program, max_cycles, |_, _| {})
+    }
+
+    /// As [`Machine::run_program`], additionally calling `observer` once per
+    /// cycle with the environment assignment and the policy's `moe`
+    /// assignment — the hook used by `ipcl-assertgen` runtime monitors.
+    pub fn run_program_with_observer<F>(
+        &mut self,
+        program: &Program,
+        max_cycles: u64,
+        mut observer: F,
+    ) -> SimStats
+    where
+        F: FnMut(&Assignment, &Assignment),
+    {
+        let mut pending: VecDeque<Packet> = program.iter().cloned().collect();
+        for _ in 0..max_cycles {
+            if pending.is_empty() && self.pipes.iter().all(PipeState::is_empty) {
+                break;
+            }
+            self.step(&mut pending, &mut observer);
+        }
+        self.stats.clone()
+    }
+
+    /// Executes a single cycle, issuing from `pending` when possible.
+    pub fn step<F>(&mut self, pending: &mut VecDeque<Packet>, observer: &mut F)
+    where
+        F: FnMut(&Assignment, &Assignment),
+    {
+        // Phase 1: construct the specification environment for this cycle.
+        let (env, granted_regs, contention) = self.build_env();
+        let view = MachineView {
+            any_scoreboard_bit: self.scoreboard.iter().any(|&b| b),
+            completion_contention: contention,
+            cycle: self.cycle,
+        };
+        let inputs = PolicyInputs {
+            spec: &self.spec,
+            env: &env,
+            view,
+        };
+
+        // Phase 2: interlock decisions (the device under verification) and
+        // the derived reference (the maximum-performance assignment).
+        let moe = self.policy.moe_flags(&inputs);
+        let maximal = ipcl_core::fixpoint::derive_concrete(&self.spec, &env);
+        observer(&env, &moe);
+        self.account_stalls(&env, &moe, &maximal);
+
+        // Phase 3: data movement controlled by the policy's moe flags.
+        self.move_data(&moe, &env, &granted_regs);
+
+        // Phase 4: issue the next packet when every issue stage may move.
+        self.issue(pending, &moe, &env);
+
+        // Wait-state bookkeeping.
+        if env
+            .get(self.vars.wait.expect("wait var interned"))
+            .unwrap_or(false)
+        {
+            self.stats.wait_cycles += 1;
+            self.wait_remaining = self.wait_remaining.saturating_sub(1);
+        }
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+
+    /// Builds the environment assignment, the set of registers written by
+    /// completion buses this cycle, and whether any pipe lost arbitration.
+    fn build_env(&self) -> (Assignment, Vec<u32>, bool) {
+        let mut env = Assignment::new();
+
+        // rtm flags and shunt occupancy.
+        for (pipe_state, pipe_spec) in self.pipes.iter().zip(&self.arch.pipes) {
+            for stage in 1..pipe_spec.stages {
+                let stage_ref = StageRef::new(&pipe_state.name, stage);
+                if let Some(&var) = self.vars.rtm.get(&stage_ref.prefix()) {
+                    let occupied = pipe_state.stages[stage as usize - 1].is_some();
+                    env.set(var, occupied);
+                }
+                if let Some(&var) = self.vars.shunt_full.get(&stage_ref.prefix()) {
+                    env.set(var, pipe_state.skid[stage as usize - 1].is_some());
+                }
+            }
+        }
+
+        // Completion requests and arbitration per bus (priority order).
+        let mut granted_regs: Vec<u32> = Vec::new();
+        let mut contention = false;
+        let mut granted: BTreeMap<String, bool> = BTreeMap::new();
+        for bus in &self.arch.completion_buses {
+            let mut winner: Option<&str> = None;
+            for pipe_name in &bus.priority {
+                let Some(pipe) = self.pipes.iter().find(|p| &p.name == pipe_name) else {
+                    continue;
+                };
+                let requesting = pipe.stages.last().map(|s| s.is_some()).unwrap_or(false);
+                if requesting {
+                    if winner.is_none() {
+                        winner = Some(pipe_name);
+                    } else {
+                        contention = true;
+                    }
+                }
+            }
+            for pipe_name in &bus.priority {
+                granted.insert(pipe_name.clone(), winner == Some(pipe_name.as_str()));
+            }
+            if let Some(winner_name) = winner {
+                let pipe = self
+                    .pipes
+                    .iter()
+                    .find(|p| p.name == winner_name)
+                    .expect("winner is a known pipe");
+                if let Some(Some(op)) = pipe.stages.last() {
+                    if let Some(dest) = op.dest {
+                        granted_regs.push(dest);
+                    }
+                }
+            }
+        }
+        for pipe in &self.pipes {
+            let requesting = pipe.completion_bus.is_some()
+                && pipe.stages.last().map(|s| s.is_some()).unwrap_or(false);
+            if let Some(&var) = self.vars.req.get(&pipe.name) {
+                env.set(var, requesting);
+            }
+            if let Some(&var) = self.vars.gnt.get(&pipe.name) {
+                env.set(var, requesting && granted.get(&pipe.name).copied().unwrap_or(false));
+            }
+        }
+
+        // Scoreboard / operand-outstanding per pipe (abstract signal), with
+        // completion-bus bypass.
+        for pipe in &self.pipes {
+            let outstanding = if pipe.checks_scoreboard {
+                match &pipe.stages[0] {
+                    Some(op) => [op.src, op.dest]
+                        .into_iter()
+                        .flatten()
+                        .any(|reg| {
+                            self.scoreboard.get(reg as usize).copied().unwrap_or(false)
+                                && !granted_regs.contains(&reg)
+                        }),
+                    None => false,
+                }
+            } else {
+                false
+            };
+            if let Some(&var) = self.vars.outstanding.get(&pipe.name) {
+                env.set(var, outstanding);
+            }
+        }
+
+        // Wait state: a wait op sitting in the issue stage of a wait-observing
+        // pipe with remaining cycles.
+        let waiting = self.wait_remaining > 0
+            && self.pipes.iter().any(|p| {
+                p.observes_wait
+                    && p.stages[0]
+                        .as_ref()
+                        .map(|op| op.is_wait())
+                        .unwrap_or(false)
+            });
+        env.set(self.vars.wait.expect("wait var interned"), waiting);
+
+        (env, granted_regs, contention)
+    }
+
+    /// Updates stall statistics given the policy's and the maximal `moe`
+    /// assignments.
+    fn account_stalls(&mut self, env: &Assignment, moe: &Assignment, maximal: &Assignment) {
+        for stage in self.spec.stages() {
+            let stalled = !moe.get(stage.moe).unwrap_or(true);
+            if !stalled {
+                continue;
+            }
+            *self
+                .stats
+                .stall_cycles_per_stage
+                .entry(stage.stage.prefix())
+                .or_insert(0) += 1;
+            // Attribute the stall to every rule whose condition holds.
+            for rule in &stage.rules {
+                let holds = rule.condition.eval_with(|v| {
+                    moe.get(v).or(env.get(v)).unwrap_or(false)
+                });
+                if holds {
+                    *self
+                        .stats
+                        .stalls_by_cause
+                        .entry(rule.label.clone())
+                        .or_insert(0) += 1;
+                }
+            }
+            if maximal.get(stage.moe).unwrap_or(false) {
+                self.stats.unnecessary_stalls += 1;
+                *self
+                    .stats
+                    .unnecessary_by_stage
+                    .entry(stage.stage.prefix())
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Moves operations between stages according to the policy's `moe` flags,
+    /// recording ground-truth hazards when the policy under-stalls.
+    fn move_data(&mut self, moe: &Assignment, env: &Assignment, granted_regs: &[u32]) {
+        let moe_of = |spec: &FunctionalSpec, pipe: &str, stage: u32| -> bool {
+            spec.moe_var(&StageRef::new(pipe, stage))
+                .and_then(|v| moe.get(v))
+                .unwrap_or(true)
+        };
+
+        for pipe in &mut self.pipes {
+            let depth = pipe.depth();
+
+            // Completion stage.
+            let final_moe = moe_of(&self.spec, &pipe.name, depth as u32);
+            if final_moe {
+                if let Some(op) = pipe.stages[depth - 1].take() {
+                    let completes_on_bus = pipe.completion_bus.is_some();
+                    let granted = op
+                        .dest
+                        .map(|d| granted_regs.contains(&d))
+                        // Ops without a destination complete silently.
+                        .unwrap_or(true);
+                    if completes_on_bus && !granted && op.dest.is_some() {
+                        // The policy vacated a completion stage that had not
+                        // won the bus: its result is lost (written nowhere).
+                        self.stats.hazards.lost_completions += 1;
+                    }
+                    if let Some(dest) = op.dest {
+                        if let Some(bit) = self.scoreboard.get_mut(dest as usize) {
+                            *bit = false;
+                        }
+                    }
+                    self.stats.ops_completed += 1;
+                }
+            }
+
+            // Upstream stages, deepest first. A stage's content moves exactly
+            // when its *own* moe flag is set — that is the meaning of the
+            // flag; whether the move is safe depends on the downstream stage
+            // having vacated, and a violation is recorded as an overwrite.
+            let issue_op_before = pipe.stages[0].clone();
+            for stage_index in (0..depth - 1).rev() {
+                let own_moe = moe_of(&self.spec, &pipe.name, stage_index as u32 + 1);
+                if !own_moe {
+                    continue;
+                }
+                let downstream_accepts = moe_of(&self.spec, &pipe.name, stage_index as u32 + 2);
+                if pipe.is_shunt(stage_index) {
+                    if downstream_accepts {
+                        // Drain the skid buffer first (it holds the older
+                        // operation), then let the stage slide into the skid.
+                        if let Some(op) = pipe.skid[stage_index].take() {
+                            if pipe.stages[stage_index + 1].is_some() {
+                                self.stats.hazards.overwrites += 1;
+                            }
+                            pipe.stages[stage_index + 1] = Some(op);
+                            if let Some(next) = pipe.stages[stage_index].take() {
+                                pipe.skid[stage_index] = Some(next);
+                            }
+                        } else if let Some(op) = pipe.stages[stage_index].take() {
+                            if pipe.stages[stage_index + 1].is_some() {
+                                self.stats.hazards.overwrites += 1;
+                            }
+                            pipe.stages[stage_index + 1] = Some(op);
+                        }
+                    } else if let Some(op) = pipe.stages[stage_index].take() {
+                        // Downstream is stalled: absorb into the skid buffer.
+                        if pipe.skid[stage_index].is_some() {
+                            self.stats.hazards.overwrites += 1;
+                        }
+                        pipe.skid[stage_index] = Some(op);
+                    }
+                } else if let Some(op) = pipe.stages[stage_index].take() {
+                    if pipe.stages[stage_index + 1].is_some() {
+                        self.stats.hazards.overwrites += 1;
+                    }
+                    pipe.stages[stage_index + 1] = Some(op);
+                }
+            }
+
+            // If an operation left the issue stage this cycle it has been
+            // *issued*: its destination becomes outstanding on the scoreboard,
+            // and issuing past an outstanding, non-bypassed operand is a
+            // ground-truth read-after-write hazard.
+            if depth > 1 {
+                if let Some(issued) = issue_op_before {
+                    if pipe.stages[0].is_none() {
+                        let outstanding = self
+                            .vars
+                            .outstanding
+                            .get(&pipe.name)
+                            .map(|&v| env.get_or_false(v))
+                            .unwrap_or(false);
+                        if outstanding {
+                            self.stats.hazards.raw_violations += 1;
+                        }
+                        if let Some(dest) = issued.dest {
+                            if let Some(bit) = self.scoreboard.get_mut(dest as usize) {
+                                *bit = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fetches the next packet into the issue stages if every issue stage is
+    /// allowed to move (lock-step issue of whole packets).
+    fn issue(&mut self, pending: &mut VecDeque<Packet>, moe: &Assignment, _env: &Assignment) {
+        if pending.is_empty() {
+            return;
+        }
+        let all_issue_moving = self.pipes.iter().all(|pipe| {
+            self.spec
+                .moe_var(&StageRef::new(&pipe.name, 1))
+                .and_then(|v| moe.get(v))
+                .unwrap_or(true)
+        });
+        if !all_issue_moving {
+            return;
+        }
+        let packet = pending.pop_front().expect("pending not empty");
+        self.stats.packets_issued += 1;
+        for op in &packet.ops {
+            let Some(pipe) = self.pipes.iter_mut().find(|p| p.name == op.pipe) else {
+                continue;
+            };
+            if pipe.stages[0].is_some() {
+                self.stats.hazards.overwrites += 1;
+            }
+            if op.is_wait() {
+                self.wait_remaining = self.wait_remaining.max(op.wait_cycles);
+            }
+            pipe.stages[0] = Some(op.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        BrokenInterlock, BrokenVariant, ConservativeInterlock, ConservativeVariant,
+        MaximalInterlock,
+    };
+    use crate::workload::WorkloadConfig;
+    use ipcl_core::ArchSpec;
+
+    fn example_program(packets: usize, seed: u64) -> Program {
+        WorkloadConfig::default().with_packets(packets).generate(seed)
+    }
+
+    #[test]
+    fn maximal_policy_is_hazard_free_and_never_unnecessarily_stalls() {
+        let arch = ArchSpec::paper_example();
+        let program = example_program(400, 11);
+        let mut machine = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        let stats = machine.run_program(&program, 20_000);
+        assert_eq!(stats.hazards.total(), 0, "{stats}");
+        assert_eq!(stats.unnecessary_stalls, 0, "{stats}");
+        assert!(stats.packets_issued == 400);
+        assert!(stats.ops_completed > 0);
+        assert!(stats.cycles < 20_000, "program must drain");
+    }
+
+    #[test]
+    fn conservative_policies_add_unnecessary_stalls_but_no_hazards() {
+        let arch = ArchSpec::paper_example();
+        let program = example_program(400, 12);
+        let mut baseline = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        let base_stats = baseline.run_program(&program, 50_000);
+        for variant in ConservativeVariant::ALL {
+            let mut machine =
+                Machine::new(&arch, Box::new(ConservativeInterlock::new(variant))).unwrap();
+            let stats = machine.run_program(&program, 50_000);
+            assert_eq!(stats.hazards.total(), 0, "{variant:?}: {stats}");
+            assert!(
+                stats.unnecessary_stalls > 0,
+                "{variant:?} should inject unnecessary stalls\n{stats}"
+            );
+            assert!(
+                stats.cycles >= base_stats.cycles,
+                "{variant:?} cannot be faster than the maximal interlock"
+            );
+        }
+    }
+
+    #[test]
+    fn broken_scoreboard_policy_causes_raw_hazards() {
+        let arch = ArchSpec::paper_example();
+        let program = WorkloadConfig::default()
+            .with_packets(400)
+            .with_dependence_bias(0.9)
+            .generate(13);
+        let mut machine = Machine::new(
+            &arch,
+            Box::new(BrokenInterlock::new(BrokenVariant::IgnoreScoreboard)),
+        )
+        .unwrap();
+        let stats = machine.run_program(&program, 50_000);
+        assert!(stats.hazards.raw_violations > 0, "{stats}");
+    }
+
+    #[test]
+    fn broken_completion_policy_loses_results_under_contention() {
+        let arch = ArchSpec::paper_example();
+        // High utilisation on both pipes maximises completion-bus contention.
+        let program = WorkloadConfig::default()
+            .with_packets(400)
+            .with_pipes([("long".to_owned(), 1.0), ("short".to_owned(), 1.0)])
+            .generate(14);
+        let mut machine = Machine::new(
+            &arch,
+            Box::new(BrokenInterlock::new(BrokenVariant::IgnoreCompletionGrant)),
+        )
+        .unwrap();
+        let stats = machine.run_program(&program, 50_000);
+        assert!(stats.hazards.lost_completions > 0, "{stats}");
+    }
+
+    #[test]
+    fn maximal_policy_faster_than_conservative_on_contended_workload() {
+        let arch = ArchSpec::paper_example();
+        let program = WorkloadConfig::default()
+            .with_packets(600)
+            .with_dependence_bias(0.6)
+            .generate(15);
+        let mut maximal = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        let max_stats = maximal.run_program(&program, 100_000);
+        let mut conservative = Machine::new(
+            &arch,
+            Box::new(ConservativeInterlock::new(
+                ConservativeVariant::StallIssueOnAnyScoreboardHit,
+            )),
+        )
+        .unwrap();
+        let cons_stats = conservative.run_program(&program, 100_000);
+        assert!(max_stats.cycles < cons_stats.cycles, "{max_stats}\n{cons_stats}");
+        assert!(max_stats.ipc() > cons_stats.ipc());
+    }
+
+    #[test]
+    fn wait_instructions_freeze_issue() {
+        let arch = ArchSpec::paper_example();
+        let program: Program = vec![
+            Packet::new([Op::wait("long", 5)]),
+            Packet::new([Op::new("long", None, Some(1))]),
+        ];
+        let mut machine = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        let stats = machine.run_program(&program, 1_000);
+        assert!(stats.wait_cycles >= 4, "{stats}");
+        assert_eq!(stats.hazards.total(), 0);
+        assert!(stats
+            .stalls_by_cause
+            .get("wait-state")
+            .copied()
+            .unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn firepath_like_machine_runs_hazard_free_with_maximal_policy() {
+        let arch = ArchSpec::firepath_like();
+        let program = WorkloadConfig::for_arch(&arch, 0.5)
+            .with_packets(150)
+            .generate(21);
+        let mut machine = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        let stats = machine.run_program(&program, 50_000);
+        assert_eq!(stats.hazards.total(), 0, "{stats}");
+        assert_eq!(stats.unnecessary_stalls, 0, "{stats}");
+        assert!(stats.ops_completed > 0);
+    }
+
+    #[test]
+    fn observer_sees_every_cycle() {
+        let arch = ArchSpec::paper_example();
+        let program = example_program(50, 3);
+        let mut machine = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        let mut observed = 0u64;
+        let stats = machine.run_program_with_observer(&program, 10_000, |env, moe| {
+            observed += 1;
+            assert!(moe.len() == 6);
+            assert!(env.len() > 0);
+        });
+        assert_eq!(observed, stats.cycles);
+    }
+
+    #[test]
+    fn reset_clears_state_and_stats() {
+        let arch = ArchSpec::paper_example();
+        let program = example_program(50, 4);
+        let mut machine = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        let _ = machine.run_program(&program, 10_000);
+        assert!(machine.cycle() > 0);
+        machine.reset();
+        assert_eq!(machine.cycle(), 0);
+        assert_eq!(machine.stats().cycles, 0);
+        assert_eq!(machine.stats().policy, "maximal");
+    }
+
+    #[test]
+    fn stats_accessors_and_spec_exposed() {
+        let arch = ArchSpec::paper_example();
+        let machine = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+        assert_eq!(machine.spec().stages().len(), 6);
+        assert_eq!(machine.arch().name, "paper-example");
+    }
+}

@@ -1,0 +1,429 @@
+//! Pluggable interlock policies: the derived maximal policy, conservative
+//! (performance-bug) variants and broken (functional-bug) variants.
+
+use ipcl_core::fixpoint::derive_concrete;
+use ipcl_core::FunctionalSpec;
+use ipcl_expr::Assignment;
+
+/// Summary of machine state that policies may consult in addition to the
+/// specification environment signals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineView {
+    /// Whether any scoreboard bit is currently set.
+    pub any_scoreboard_bit: bool,
+    /// Whether any pipe lost completion-bus arbitration this cycle.
+    pub completion_contention: bool,
+    /// Cycles elapsed since reset.
+    pub cycle: u64,
+}
+
+/// Inputs handed to a policy every cycle.
+#[derive(Debug)]
+pub struct PolicyInputs<'a> {
+    /// The functional specification of the architecture's interlock.
+    pub spec: &'a FunctionalSpec,
+    /// Concrete values of all environment signals this cycle.
+    pub env: &'a Assignment,
+    /// Machine-state summary.
+    pub view: MachineView,
+}
+
+/// An interlock implementation: decides the `moe` flag of every stage from
+/// the current environment.
+pub trait InterlockPolicy {
+    /// Short name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Computes the `moe` assignment (one value per stage `moe` flag).
+    fn moe_flags(&self, inputs: &PolicyInputs<'_>) -> Assignment;
+}
+
+/// The maximum-performance interlock: evaluates the fixed-point derivation of
+/// the functional specification every cycle. Stalls exactly when functionally
+/// necessary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaximalInterlock;
+
+impl InterlockPolicy for MaximalInterlock {
+    fn name(&self) -> &'static str {
+        "maximal"
+    }
+
+    fn moe_flags(&self, inputs: &PolicyInputs<'_>) -> Assignment {
+        derive_concrete(inputs.spec, inputs.env)
+    }
+}
+
+/// Classes of over-conservative interlock behaviour (performance bugs).
+///
+/// Each variant stalls in strictly more situations than necessary, so it
+/// never violates the functional specification but does violate the
+/// performance specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConservativeVariant {
+    /// Stall every issue stage whenever *any* scoreboard bit is set, ignoring
+    /// both the bypass and whether the issuing instruction actually reads the
+    /// outstanding register.
+    StallIssueOnAnyScoreboardHit,
+    /// Stall *every* stage of a pipe that loses completion-bus arbitration,
+    /// whether or not the intermediate stages hold anything (the
+    /// pre-redesign completion logic the paper's Results section alludes to).
+    StallWholeLosingPipe,
+    /// Propagate a downstream stall to the predecessor even when the
+    /// predecessor holds a bubble (ignores the `rtm` qualification).
+    IgnoreRtmQualification,
+}
+
+impl ConservativeVariant {
+    /// All variants, for experiment sweeps.
+    pub const ALL: [ConservativeVariant; 3] = [
+        ConservativeVariant::StallIssueOnAnyScoreboardHit,
+        ConservativeVariant::StallWholeLosingPipe,
+        ConservativeVariant::IgnoreRtmQualification,
+    ];
+}
+
+/// An interlock that starts from the maximal assignment and then applies one
+/// class of unnecessary stalls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConservativeInterlock {
+    /// Which unnecessary-stall behaviour is injected.
+    pub variant: ConservativeVariant,
+}
+
+impl ConservativeInterlock {
+    /// Creates a conservative interlock with the given bug class.
+    pub fn new(variant: ConservativeVariant) -> Self {
+        ConservativeInterlock { variant }
+    }
+}
+
+impl InterlockPolicy for ConservativeInterlock {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            ConservativeVariant::StallIssueOnAnyScoreboardHit => "conservative-scoreboard",
+            ConservativeVariant::StallWholeLosingPipe => "conservative-completion",
+            ConservativeVariant::IgnoreRtmQualification => "conservative-no-rtm",
+        }
+    }
+
+    fn moe_flags(&self, inputs: &PolicyInputs<'_>) -> Assignment {
+        let mut moe = derive_concrete(inputs.spec, inputs.env);
+        match self.variant {
+            ConservativeVariant::StallIssueOnAnyScoreboardHit => {
+                if inputs.view.any_scoreboard_bit {
+                    for stage in inputs.spec.stages() {
+                        if stage.stage.stage == 1 {
+                            moe.set(stage.moe, false);
+                        }
+                    }
+                }
+            }
+            ConservativeVariant::StallWholeLosingPipe => {
+                // Find pipes that requested the completion bus but were not
+                // granted, and stall every one of their stages.
+                let pool = inputs.spec.pool();
+                let losing: Vec<String> = inputs
+                    .spec
+                    .stages()
+                    .iter()
+                    .map(|s| s.stage.pipe.clone())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .filter(|pipe| {
+                        let req = pool
+                            .lookup(&format!("{pipe}.req"))
+                            .map(|v| inputs.env.get_or_false(v))
+                            .unwrap_or(false);
+                        let gnt = pool
+                            .lookup(&format!("{pipe}.gnt"))
+                            .map(|v| inputs.env.get_or_false(v))
+                            .unwrap_or(false);
+                        req && !gnt
+                    })
+                    .collect();
+                for stage in inputs.spec.stages() {
+                    if losing.contains(&stage.stage.pipe) {
+                        moe.set(stage.moe, false);
+                    }
+                }
+            }
+            ConservativeVariant::IgnoreRtmQualification => {
+                // Re-run the propagation without the rtm qualification: any
+                // stage whose successor stalls also stalls.
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for stage in inputs.spec.stages() {
+                        let next = stage.stage.next();
+                        if let Some(next_moe) = inputs.spec.moe_var(&next) {
+                            if moe.get(next_moe) == Some(false)
+                                && moe.get(stage.moe) == Some(true)
+                            {
+                                moe.set(stage.moe, false);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        moe
+    }
+}
+
+/// Classes of incorrect interlock behaviour (functional bugs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrokenVariant {
+    /// Ignore the scoreboard entirely: issue proceeds even when an operand is
+    /// outstanding (read-after-write hazards).
+    IgnoreScoreboard,
+    /// Ignore completion-bus arbitration: the final stage claims to move even
+    /// when it lost the grant (completion is dropped / overwritten).
+    IgnoreCompletionGrant,
+    /// Wrong reset values: for the first few cycles after reset every `moe`
+    /// flag is forced high regardless of the stall conditions (the incorrect
+    /// initialisation values the paper reports finding).
+    BadResetValues {
+        /// Number of cycles after reset during which the flags are forced.
+        cycles: u64,
+    },
+}
+
+/// An interlock that omits required stalls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrokenInterlock {
+    /// Which functional bug is injected.
+    pub variant: BrokenVariant,
+}
+
+impl BrokenInterlock {
+    /// Creates a broken interlock with the given bug class.
+    pub fn new(variant: BrokenVariant) -> Self {
+        BrokenInterlock { variant }
+    }
+}
+
+impl InterlockPolicy for BrokenInterlock {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            BrokenVariant::IgnoreScoreboard => "broken-scoreboard",
+            BrokenVariant::IgnoreCompletionGrant => "broken-completion",
+            BrokenVariant::BadResetValues { .. } => "broken-reset",
+        }
+    }
+
+    fn moe_flags(&self, inputs: &PolicyInputs<'_>) -> Assignment {
+        match self.variant {
+            BrokenVariant::IgnoreScoreboard => {
+                // Drop every scoreboard-labelled rule before deriving.
+                let env = strip_env(inputs.env, inputs.spec, "operand_outstanding");
+                derive_concrete(inputs.spec, &env)
+            }
+            BrokenVariant::IgnoreCompletionGrant => {
+                // Pretend every requesting pipe was granted.
+                let mut env = inputs.env.clone();
+                for (var, name) in inputs.spec.pool().iter() {
+                    if name.ends_with(".gnt") {
+                        env.set(var, true);
+                    }
+                }
+                derive_concrete(inputs.spec, &env)
+            }
+            BrokenVariant::BadResetValues { cycles } => {
+                let mut moe = derive_concrete(inputs.spec, inputs.env);
+                if inputs.view.cycle < cycles {
+                    for stage in inputs.spec.stages() {
+                        moe.set(stage.moe, true);
+                    }
+                }
+                moe
+            }
+        }
+    }
+}
+
+/// Returns a copy of `env` with every variable whose name contains `marker`
+/// cleared to false.
+fn strip_env(env: &Assignment, spec: &FunctionalSpec, marker: &str) -> Assignment {
+    let mut out = env.clone();
+    for (var, name) in spec.pool().iter() {
+        if name.contains(marker) {
+            out.set(var, false);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_core::example::ExampleArch;
+    use ipcl_core::model::StageRef;
+
+    fn spec_and_env() -> (FunctionalSpec, Assignment) {
+        let spec = ExampleArch::new().functional_spec();
+        let pool = spec.pool();
+        // Scenario: long pipe's issue operand is outstanding; short pipe idle.
+        let env = Assignment::from_pairs([
+            (pool.lookup("long.1.operand_outstanding").unwrap(), true),
+            (pool.lookup("long.1.rtm").unwrap(), true),
+        ]);
+        (spec, env)
+    }
+
+    #[test]
+    fn maximal_policy_matches_derivation() {
+        let (spec, env) = spec_and_env();
+        let inputs = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view: MachineView::default(),
+        };
+        let policy = MaximalInterlock;
+        assert_eq!(policy.name(), "maximal");
+        assert_eq!(policy.moe_flags(&inputs), derive_concrete(&spec, &env));
+    }
+
+    #[test]
+    fn conservative_scoreboard_adds_issue_stalls_only() {
+        let spec = ExampleArch::new().functional_spec();
+        // Nothing outstanding for the issuing ops, but some scoreboard bit is
+        // set somewhere: maximal moves, conservative stalls issue.
+        let env = Assignment::new();
+        let view = MachineView {
+            any_scoreboard_bit: true,
+            ..Default::default()
+        };
+        let inputs = PolicyInputs { spec: &spec, env: &env, view };
+        let maximal = MaximalInterlock.moe_flags(&inputs);
+        let conservative =
+            ConservativeInterlock::new(ConservativeVariant::StallIssueOnAnyScoreboardHit)
+                .moe_flags(&inputs);
+        let long1 = spec.moe_var(&StageRef::new("long", 1)).unwrap();
+        let long4 = spec.moe_var(&StageRef::new("long", 4)).unwrap();
+        assert_eq!(maximal.get(long1), Some(true));
+        assert_eq!(conservative.get(long1), Some(false));
+        assert_eq!(conservative.get(long4), Some(true));
+    }
+
+    #[test]
+    fn conservative_completion_stalls_the_whole_losing_pipe() {
+        let spec = ExampleArch::new().functional_spec();
+        let pool = spec.pool();
+        // The long pipe requests and loses; the short pipe wins.
+        let env = Assignment::from_pairs([
+            (pool.lookup("long.req").unwrap(), true),
+            (pool.lookup("short.req").unwrap(), true),
+            (pool.lookup("short.gnt").unwrap(), true),
+        ]);
+        let inputs = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view: MachineView::default(),
+        };
+        let maximal = MaximalInterlock.moe_flags(&inputs);
+        let moe = ConservativeInterlock::new(ConservativeVariant::StallWholeLosingPipe)
+            .moe_flags(&inputs);
+        let long2 = spec.moe_var(&StageRef::new("long", 2)).unwrap();
+        let short2 = spec.moe_var(&StageRef::new("short", 2)).unwrap();
+        // long.2 holds nothing (no rtm), so the maximal interlock lets it
+        // move; the conservative variant stalls it anyway.
+        assert_eq!(maximal.get(long2), Some(true));
+        assert_eq!(moe.get(long2), Some(false));
+        // The winning pipe is untouched.
+        assert_eq!(moe.get(short2), Some(true));
+    }
+
+    #[test]
+    fn conservative_no_rtm_propagates_through_bubbles() {
+        let spec = ExampleArch::new().functional_spec();
+        let pool = spec.pool();
+        // Completion loses the bus; nothing upstream wants to move (bubbles).
+        let env = Assignment::from_pairs([(pool.lookup("long.req").unwrap(), true)]);
+        let inputs = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view: MachineView::default(),
+        };
+        let maximal = MaximalInterlock.moe_flags(&inputs);
+        let conservative =
+            ConservativeInterlock::new(ConservativeVariant::IgnoreRtmQualification)
+                .moe_flags(&inputs);
+        let long3 = spec.moe_var(&StageRef::new("long", 3)).unwrap();
+        assert_eq!(maximal.get(long3), Some(true), "bubble must not stall");
+        assert_eq!(conservative.get(long3), Some(false), "variant stalls through bubbles");
+        // Conservative variants never *clear* a necessary stall.
+        for (var, value) in conservative.iter() {
+            if !maximal.get(var).unwrap_or(true) {
+                assert!(!value);
+            }
+        }
+    }
+
+    #[test]
+    fn broken_scoreboard_misses_required_stall() {
+        let (spec, env) = spec_and_env();
+        let inputs = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view: MachineView::default(),
+        };
+        let maximal = MaximalInterlock.moe_flags(&inputs);
+        let broken = BrokenInterlock::new(BrokenVariant::IgnoreScoreboard).moe_flags(&inputs);
+        let long1 = spec.moe_var(&StageRef::new("long", 1)).unwrap();
+        assert_eq!(maximal.get(long1), Some(false), "operand outstanding must stall");
+        assert_eq!(broken.get(long1), Some(true), "broken policy misses the stall");
+    }
+
+    #[test]
+    fn broken_completion_ignores_lost_grant() {
+        let spec = ExampleArch::new().functional_spec();
+        let pool = spec.pool();
+        let env = Assignment::from_pairs([(pool.lookup("long.req").unwrap(), true)]);
+        let inputs = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view: MachineView::default(),
+        };
+        let broken =
+            BrokenInterlock::new(BrokenVariant::IgnoreCompletionGrant).moe_flags(&inputs);
+        let long4 = spec.moe_var(&StageRef::new("long", 4)).unwrap();
+        assert_eq!(broken.get(long4), Some(true));
+    }
+
+    #[test]
+    fn bad_reset_values_only_affect_early_cycles() {
+        let (spec, env) = spec_and_env();
+        let policy = BrokenInterlock::new(BrokenVariant::BadResetValues { cycles: 2 });
+        assert_eq!(policy.name(), "broken-reset");
+        let early = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view: MachineView { cycle: 0, ..Default::default() },
+        };
+        let late = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view: MachineView { cycle: 5, ..Default::default() },
+        };
+        let long1 = spec.moe_var(&StageRef::new("long", 1)).unwrap();
+        assert_eq!(policy.moe_flags(&early).get(long1), Some(true));
+        assert_eq!(policy.moe_flags(&late).get(long1), Some(false));
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let mut names = vec![MaximalInterlock.name()];
+        for v in ConservativeVariant::ALL {
+            names.push(ConservativeInterlock::new(v).name());
+        }
+        names.push(BrokenInterlock::new(BrokenVariant::IgnoreScoreboard).name());
+        names.push(BrokenInterlock::new(BrokenVariant::IgnoreCompletionGrant).name());
+        names.push(BrokenInterlock::new(BrokenVariant::BadResetValues { cycles: 1 }).name());
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! Extraction of boolean expressions from netlists.
+//!
+//! The property checker compares an interlock *implementation* (a netlist)
+//! against its *specification* (an expression). To do so it needs the boolean
+//! function each output computes in terms of the primary inputs and register
+//! outputs; [`Netlist::signal_expr`] recovers exactly that by walking the
+//! combinational fan-in cone.
+
+use std::collections::HashMap;
+
+use ipcl_expr::{Expr, VarPool};
+
+use crate::netlist::{Gate, Netlist, SignalId, SignalKind};
+
+impl Netlist {
+    /// The boolean function of `signal` in terms of primary inputs and
+    /// register outputs, as an `ipcl-expr` expression.
+    ///
+    /// Inputs and register outputs are interned in `pool` under their signal
+    /// names, so the same pool can be shared with the specification the
+    /// implementation is checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (call
+    /// [`Netlist::elaborate`] first to validate).
+    pub fn signal_expr(&self, signal: SignalId, pool: &mut VarPool) -> Expr {
+        let mut cache: HashMap<SignalId, Expr> = HashMap::new();
+        self.expr_rec(signal, pool, &mut cache, 0)
+    }
+
+    /// The boolean functions of every declared output, keyed by signal name.
+    pub fn output_exprs(&self, pool: &mut VarPool) -> Vec<(String, Expr)> {
+        self.outputs()
+            .iter()
+            .map(|&s| (self.signal(s).name.clone(), self.signal_expr(s, pool)))
+            .collect()
+    }
+
+    /// The next-state function of a register in terms of inputs and register
+    /// outputs, or `None` if `register` is not a register or is unconnected.
+    pub fn register_next_expr(&self, register: SignalId, pool: &mut VarPool) -> Option<Expr> {
+        match self.signal(register).kind {
+            SignalKind::Register { next: Some(next), .. } => {
+                Some(self.signal_expr(next, pool))
+            }
+            _ => None,
+        }
+    }
+
+    fn expr_rec(
+        &self,
+        signal: SignalId,
+        pool: &mut VarPool,
+        cache: &mut HashMap<SignalId, Expr>,
+        depth: usize,
+    ) -> Expr {
+        assert!(
+            depth <= self.len(),
+            "combinational cycle reached while extracting expression"
+        );
+        if let Some(cached) = cache.get(&signal) {
+            return cached.clone();
+        }
+        let result = match &self.signal(signal).kind {
+            // Inputs and register outputs are the free variables of the
+            // extracted function.
+            SignalKind::Input | SignalKind::Register { .. } => {
+                Expr::var(pool.var(&self.signal(signal).name))
+            }
+            SignalKind::Wire(gate) => match gate {
+                Gate::Const(b) => Expr::Const(*b),
+                Gate::Buf(a) => self.expr_rec(*a, pool, cache, depth + 1),
+                Gate::Not(a) => Expr::not(self.expr_rec(*a, pool, cache, depth + 1)),
+                Gate::And(ops) => Expr::and(
+                    ops.iter()
+                        .map(|&s| self.expr_rec(s, pool, cache, depth + 1))
+                        .collect::<Vec<_>>(),
+                ),
+                Gate::Or(ops) => Expr::or(
+                    ops.iter()
+                        .map(|&s| self.expr_rec(s, pool, cache, depth + 1))
+                        .collect::<Vec<_>>(),
+                ),
+                Gate::Xor(a, b) => Expr::xor(
+                    self.expr_rec(*a, pool, cache, depth + 1),
+                    self.expr_rec(*b, pool, cache, depth + 1),
+                ),
+                Gate::Mux { sel, high, low } => Expr::ite(
+                    self.expr_rec(*sel, pool, cache, depth + 1),
+                    self.expr_rec(*high, pool, cache, depth + 1),
+                    self.expr_rec(*low, pool, cache, depth + 1),
+                ),
+            },
+        };
+        cache.insert(signal, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_expr::{parse_expr, semantically_equal};
+
+    #[test]
+    fn extracts_combinational_function() {
+        let mut n = Netlist::new("m");
+        let req = n.input("req");
+        let gnt = n.input("gnt");
+        let ngnt = n.not_gate("ngnt", gnt);
+        let stall = n.and_gate("stall", [req, ngnt]);
+        n.mark_output(stall);
+
+        let mut pool = VarPool::new();
+        let extracted = n.signal_expr(stall, &mut pool);
+        let expected = parse_expr("req & !gnt", &mut pool).unwrap();
+        assert!(semantically_equal(&extracted, &expected));
+    }
+
+    #[test]
+    fn register_outputs_are_free_variables() {
+        let mut n = Netlist::new("m");
+        let moe_next = n.input("moe_next_in");
+        let moe = n.register("moe", true);
+        n.connect_register(moe, moe_next).unwrap();
+        let use_of_reg = n.not_gate("stalled", moe);
+        n.mark_output(use_of_reg);
+
+        let mut pool = VarPool::new();
+        let extracted = n.signal_expr(use_of_reg, &mut pool);
+        let expected = parse_expr("!moe", &mut pool).unwrap();
+        assert!(semantically_equal(&extracted, &expected));
+
+        let next = n.register_next_expr(moe, &mut pool).unwrap();
+        let expected_next = parse_expr("moe_next_in", &mut pool).unwrap();
+        assert!(semantically_equal(&next, &expected_next));
+        assert!(n.register_next_expr(moe_next, &mut pool).is_none());
+    }
+
+    #[test]
+    fn output_exprs_cover_all_outputs() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let and = n.and_gate("and_ab", [a, b]);
+        let or = n.or_gate("or_ab", [a, b]);
+        n.mark_output(and);
+        n.mark_output(or);
+        let mut pool = VarPool::new();
+        let outputs = n.output_exprs(&mut pool);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].0, "and_ab");
+        assert_eq!(outputs[1].0, "or_ab");
+    }
+
+    #[test]
+    fn extraction_handles_all_gate_kinds() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let t = n.constant("t", true);
+        let buf = n.buf_gate("buf0", a);
+        let xor = n.xor_gate("x", a, b);
+        let mux = n.mux_gate("m0", a, b, c);
+        let both = n.and_gate("both", [t, buf, xor, mux]);
+        n.mark_output(both);
+        let mut pool = VarPool::new();
+        let extracted = n.signal_expr(both, &mut pool);
+        let expected =
+            parse_expr("a & (a ^ b) & (if a then b else c)", &mut pool).unwrap();
+        assert!(semantically_equal(&extracted, &expected));
+    }
+
+    #[test]
+    fn shared_fanin_uses_cache() {
+        // Build a deep chain with shared sub-cones; extraction must stay
+        // polynomial (the cache collapses shared nodes).
+        let mut n = Netlist::new("m");
+        let mut current = n.input("x0");
+        for i in 1..60 {
+            let other = n.not_gate(&format!("n{i}"), current);
+            current = n.and_gate(&format!("a{i}"), [current, other]);
+        }
+        n.mark_output(current);
+        let mut pool = VarPool::new();
+        let e = n.signal_expr(current, &mut pool);
+        // The extracted cone contains x0 and !x0 at the top level, so the
+        // simplifier reduces the whole function to false; the point of the
+        // test is that extraction terminates quickly on deep shared fan-in.
+        assert!(ipcl_expr::simplify::simplify(&e).is_false());
+    }
+}

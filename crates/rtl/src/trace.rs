@@ -1,0 +1,227 @@
+//! Signal traces: per-cycle recordings of simulation runs.
+//!
+//! Traces are what testbench monitors evaluate assertions over and what the
+//! experiment harness dumps when a violation is found. A [`Trace`] records a
+//! fixed set of named signals; every call to [`Trace::sample`] appends one
+//! row.
+
+use std::fmt;
+
+use crate::netlist::SignalId;
+use crate::sim::Simulator;
+
+/// A recording of selected signals over consecutive cycles.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    names: Vec<String>,
+    signals: Vec<SignalId>,
+    rows: Vec<Vec<bool>>,
+    first_cycle: u64,
+}
+
+impl Trace {
+    /// Creates a trace recording the given signals of `sim`'s netlist.
+    pub fn new(sim: &Simulator, signals: &[SignalId]) -> Self {
+        Trace {
+            names: signals
+                .iter()
+                .map(|&s| sim.netlist().signal(s).name.clone())
+                .collect(),
+            signals: signals.to_vec(),
+            rows: Vec::new(),
+            first_cycle: sim.cycle(),
+        }
+    }
+
+    /// Creates a trace recording every declared output of the netlist.
+    pub fn of_outputs(sim: &Simulator) -> Self {
+        Self::new(sim, &sim.netlist().outputs().to_vec())
+    }
+
+    /// Appends the current values of the recorded signals as a new row.
+    pub fn sample(&mut self, sim: &Simulator) {
+        self.rows
+            .push(self.signals.iter().map(|&s| sim.value(s)).collect());
+    }
+
+    /// The recorded signal names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of recorded rows (cycles).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value of column `name` at `row`, if both exist.
+    pub fn value(&self, row: usize, name: &str) -> Option<bool> {
+        let column = self.names.iter().position(|n| n == name)?;
+        self.rows.get(row).map(|r| r[column])
+    }
+
+    /// Iterates over rows as `(cycle, values)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[bool])> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(move |(i, row)| (self.first_cycle + i as u64, row.as_slice()))
+    }
+
+    /// Renders the trace as a VCD (value change dump) document.
+    ///
+    /// The output is accepted by standard waveform viewers; one timestep per
+    /// recorded row.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$date ipcl trace $end\n$version ipcl-rtl $end\n$timescale 1ns $end\n");
+        out.push_str("$scope module trace $end\n");
+        for (i, name) in self.names.iter().enumerate() {
+            let id = vcd_identifier(i);
+            out.push_str(&format!("$var wire 1 {id} {name} $end\n"));
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut previous: Option<&Vec<bool>> = None;
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!("#{}\n", i));
+            for (column, &value) in row.iter().enumerate() {
+                let changed = previous
+                    .map(|prev| prev[column] != value)
+                    .unwrap_or(true);
+                if changed {
+                    out.push_str(&format!(
+                        "{}{}\n",
+                        if value { '1' } else { '0' },
+                        vcd_identifier(column)
+                    ));
+                }
+            }
+            previous = Some(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycle  {}", self.names.join("  "))?;
+        for (cycle, row) in self.iter() {
+            write!(f, "{cycle:5}  ")?;
+            for (name, value) in self.names.iter().zip(row) {
+                let width = name.len().max(1);
+                write!(f, "{:>width$}  ", if *value { 1 } else { 0 })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Printable single-character-ish VCD identifiers.
+fn vcd_identifier(index: usize) -> String {
+    // VCD identifiers are arbitrary printable strings; use base-94 ASCII.
+    let mut i = index;
+    let mut id = String::new();
+    loop {
+        id.push((33 + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::Simulator;
+
+    fn toggler() -> (Netlist, SignalId) {
+        let mut n = Netlist::new("t");
+        let r = n.register("toggle", false);
+        let nr = n.not_gate("next", r);
+        n.connect_register(r, nr).unwrap();
+        n.mark_output(r);
+        (n, r)
+    }
+
+    #[test]
+    fn records_rows_in_order() {
+        let (n, r) = toggler();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut trace = Trace::new(&sim, &[r]);
+        for _ in 0..4 {
+            trace.sample(&sim);
+            sim.step();
+        }
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.value(0, "toggle"), Some(false));
+        assert_eq!(trace.value(1, "toggle"), Some(true));
+        assert_eq!(trace.value(2, "toggle"), Some(false));
+        assert_eq!(trace.value(3, "toggle"), Some(true));
+        assert_eq!(trace.value(9, "toggle"), None);
+        assert_eq!(trace.value(0, "missing"), None);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.names(), &["toggle".to_owned()]);
+        let cycles: Vec<u64> = trace.iter().map(|(c, _)| c).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn of_outputs_uses_declared_outputs() {
+        let (n, _) = toggler();
+        let sim = Simulator::new(&n).unwrap();
+        let trace = Trace::of_outputs(&sim);
+        assert_eq!(trace.names(), &["toggle".to_owned()]);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn vcd_output_is_well_formed() {
+        let (n, r) = toggler();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut trace = Trace::new(&sim, &[r]);
+        for _ in 0..3 {
+            trace.sample(&sim);
+            sim.step();
+        }
+        let vcd = trace.to_vcd();
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("$var wire 1 ! toggle $end"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#2"));
+        // Value-change encoding: initial 0, change to 1 at cycle 1, back at 2.
+        assert!(vcd.contains("0!"));
+        assert!(vcd.contains("1!"));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let (n, r) = toggler();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut trace = Trace::new(&sim, &[r]);
+        trace.sample(&sim);
+        sim.step();
+        trace.sample(&sim);
+        let rendered = trace.to_string();
+        assert!(rendered.contains("cycle"));
+        assert!(rendered.contains("toggle"));
+        assert!(rendered.lines().count() >= 3);
+    }
+
+    #[test]
+    fn vcd_identifiers_are_unique_for_many_columns() {
+        let ids: Vec<String> = (0..200).map(vcd_identifier).collect();
+        let mut deduped = ids.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), ids.len());
+    }
+}

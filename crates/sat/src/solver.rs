@@ -1,0 +1,615 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The implementation follows the standard MiniSat recipe: two watched
+//! literals per clause, first-UIP conflict analysis with clause learning,
+//! non-chronological backjumping, exponential VSIDS-style variable activity,
+//! phase saving and geometric restarts. It is intentionally compact — the
+//! formulas arising from interlock specifications are small by SAT standards
+//! — but it is a complete solver, not a toy backtracker.
+
+use ipcl_expr::{Cnf, Lit};
+
+/// Result of [`Solver::solve`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// Satisfiable; the vector gives one value per CNF variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Search statistics accumulated during solving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of learned clauses currently stored.
+    pub learned_clauses: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+const UNASSIGNED_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Clause {
+    literals: Vec<Lit>,
+}
+
+/// A CDCL SAT solver over a fixed clause database.
+///
+/// Construct with [`Solver::from_cnf`], then call [`Solver::solve`]. The
+/// solver may be reused: `solve` always restarts the search from scratch but
+/// keeps learned clauses, so repeated calls are cheap.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    /// Number of original (non-learned) clauses.
+    original_clauses: usize,
+    /// Watch lists indexed by literal code.
+    watches: Vec<Vec<usize>>,
+    /// Current partial assignment; indexed by variable.
+    values: Vec<Option<bool>>,
+    /// Decision level of each assigned variable.
+    levels: Vec<u32>,
+    /// Reason clause of each propagated variable.
+    reasons: Vec<Option<usize>>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Index into `trail` marking each decision level.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    propagate_head: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    activity_inc: f64,
+    /// Saved phases for phase-saving heuristic.
+    phases: Vec<bool>,
+    /// Trivially unsatisfiable (empty clause present).
+    trivially_unsat: bool,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Builds a solver for `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let num_vars = cnf.num_vars as usize;
+        let mut solver = Solver {
+            num_vars,
+            clauses: Vec::with_capacity(cnf.clauses.len()),
+            original_clauses: 0,
+            watches: vec![Vec::new(); 2 * num_vars],
+            values: vec![None; num_vars],
+            levels: vec![UNASSIGNED_LEVEL; num_vars],
+            reasons: vec![None; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            propagate_head: 0,
+            activity: vec![0.0; num_vars],
+            activity_inc: 1.0,
+            phases: vec![false; num_vars],
+            trivially_unsat: false,
+            stats: SolverStats::default(),
+        };
+        for clause in &cnf.clauses {
+            solver.add_clause(clause.clone());
+        }
+        solver.original_clauses = solver.clauses.len();
+        solver
+    }
+
+    /// Search statistics of the most recent [`Solver::solve`] call(s).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn add_clause(&mut self, mut literals: Vec<Lit>) {
+        literals.sort_unstable();
+        literals.dedup();
+        // A clause containing x and !x is a tautology: drop it.
+        if literals
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0] != w[1])
+        {
+            return;
+        }
+        match literals.len() {
+            0 => self.trivially_unsat = true,
+            _ => {
+                let index = self.clauses.len();
+                // Watch the first two literals (or duplicate the single one).
+                let w0 = literals[0];
+                let w1 = *literals.get(1).unwrap_or(&literals[0]);
+                self.watches[w0.code()].push(index);
+                if w1 != w0 {
+                    self.watches[w1.code()].push(index);
+                }
+                self.clauses.push(Clause { literals });
+            }
+        }
+    }
+
+    fn value_of(&self, lit: Lit) -> Option<bool> {
+        self.values[lit.var() as usize].map(|v| v == lit.is_positive())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.value_of(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let var = lit.var() as usize;
+                self.values[var] = Some(lit.is_positive());
+                self.levels[var] = self.decision_level();
+                self.reasons[var] = reason;
+                self.phases[var] = lit.is_positive();
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let lit = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            let falsified = lit.negated();
+            let watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut kept = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            for (pos, &clause_index) in watch_list.iter().enumerate() {
+                if conflict.is_some() {
+                    kept.extend_from_slice(&watch_list[pos..]);
+                    break;
+                }
+                self.stats.propagations += 1;
+                match self.examine_clause(clause_index, falsified) {
+                    WatchOutcome::KeepWatch => kept.push(clause_index),
+                    WatchOutcome::Moved => {}
+                    WatchOutcome::Conflict => {
+                        kept.push(clause_index);
+                        conflict = Some(clause_index);
+                    }
+                }
+            }
+            self.watches[falsified.code()] = kept;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn examine_clause(&mut self, clause_index: usize, falsified: Lit) -> WatchOutcome {
+        // Find another literal to watch, or propagate/conflict.
+        let literals = self.clauses[clause_index].literals.clone();
+        // Satisfied clause: keep the watch as is.
+        if literals.iter().any(|&l| self.value_of(l) == Some(true)) {
+            return WatchOutcome::KeepWatch;
+        }
+        // Try to find an unassigned literal other than the falsified one that
+        // is not already watched to move the watch to.
+        let unassigned: Vec<Lit> = literals
+            .iter()
+            .copied()
+            .filter(|&l| l != falsified && self.value_of(l).is_none())
+            .collect();
+        match unassigned.len() {
+            0 => WatchOutcome::Conflict,
+            1 => {
+                // Unit clause: propagate the remaining literal.
+                let unit = unassigned[0];
+                if self.enqueue(unit, Some(clause_index)) {
+                    WatchOutcome::KeepWatch
+                } else {
+                    WatchOutcome::Conflict
+                }
+            }
+            _ => {
+                // Move the watch from `falsified` to a new unassigned literal
+                // that is not already watching this clause.
+                let other = unassigned
+                    .into_iter()
+                    .find(|l| !self.watches[l.code()].contains(&clause_index));
+                match other {
+                    Some(new_watch) => {
+                        self.watches[new_watch.code()].push(clause_index);
+                        WatchOutcome::Moved
+                    }
+                    None => WatchOutcome::KeepWatch,
+                }
+            }
+        }
+    }
+
+    fn bump_activity(&mut self, var: usize) {
+        self.activity[var] += self.activity_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.activity_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the level to backjump to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars];
+        let mut counter = 0usize;
+        let mut resolve_var: Option<u32> = None;
+        let mut clause_index = conflict;
+        let mut trail_pos = self.trail.len();
+
+        loop {
+            let literals = self.clauses[clause_index].literals.clone();
+            for lit in literals {
+                let var = lit.var();
+                if Some(var) == resolve_var {
+                    continue;
+                }
+                if seen[var as usize] || self.levels[var as usize] == 0 {
+                    continue;
+                }
+                seen[var as usize] = true;
+                self.bump_activity(var as usize);
+                if self.levels[var as usize] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(lit);
+                }
+            }
+            // Walk the trail backwards to the most recently assigned literal
+            // still marked `seen`; that is the next resolution pivot.
+            let pivot = loop {
+                trail_pos -= 1;
+                let lit = self.trail[trail_pos];
+                if seen[lit.var() as usize] {
+                    seen[lit.var() as usize] = false;
+                    counter -= 1;
+                    break lit;
+                }
+            };
+            if counter == 0 {
+                // `pivot` is the first unique implication point.
+                let uip = pivot.negated();
+                let backjump = learned
+                    .iter()
+                    .map(|l| self.levels[l.var() as usize])
+                    .max()
+                    .unwrap_or(0);
+                learned.insert(0, uip);
+                return (learned, backjump);
+            }
+            resolve_var = Some(pivot.var());
+            clause_index = self.reasons[pivot.var() as usize]
+                .expect("propagated literal has a reason clause");
+        }
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while let Some(&lit) = self.trail.last() {
+            let var = lit.var() as usize;
+            if self.levels[var] <= level {
+                break;
+            }
+            self.values[var] = None;
+            self.levels[var] = UNASSIGNED_LEVEL;
+            self.reasons[var] = None;
+            self.trail.pop();
+        }
+        self.trail_lim.truncate(level as usize);
+        self.propagate_head = self.trail.len().min(self.propagate_head);
+        self.propagate_head = self.trail.len();
+    }
+
+    fn pick_branch_variable(&self) -> Option<usize> {
+        (0..self.num_vars)
+            .filter(|&v| self.values[v].is_none())
+            .max_by(|&a, &b| {
+                self.activity[a]
+                    .partial_cmp(&self.activity[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    fn reset_search(&mut self) {
+        self.backtrack_to(0);
+        // Also clear level-0 assignments so solve() is repeatable.
+        for var in 0..self.num_vars {
+            self.values[var] = None;
+            self.levels[var] = UNASSIGNED_LEVEL;
+            self.reasons[var] = None;
+        }
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.propagate_head = 0;
+    }
+
+    /// Decides satisfiability of the formula.
+    ///
+    /// Returns [`SatResult::Sat`] with a model assigning every CNF variable,
+    /// or [`SatResult::Unsat`].
+    pub fn solve(&mut self) -> SatResult {
+        if self.trivially_unsat {
+            return SatResult::Unsat;
+        }
+        self.reset_search();
+
+        // Assert unit clauses at level 0.
+        for index in 0..self.clauses.len() {
+            if self.clauses[index].literals.len() == 1 {
+                let unit = self.clauses[index].literals[0];
+                if !self.enqueue(unit, Some(index)) {
+                    return SatResult::Unsat;
+                }
+            }
+        }
+
+        let mut conflicts_until_restart = 100u64;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                let (learned, backjump_level) = self.analyze(conflict);
+                self.backtrack_to(backjump_level);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    if !self.enqueue(asserting, None) {
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let index = self.clauses.len();
+                    self.watches[learned[0].code()].push(index);
+                    self.watches[learned[1].code()].push(index);
+                    self.clauses.push(Clause { literals: learned });
+                    self.stats.learned_clauses += 1;
+                    if !self.enqueue(asserting, Some(index)) {
+                        return SatResult::Unsat;
+                    }
+                }
+                self.decay_activity();
+                if conflicts_since_restart >= conflicts_until_restart {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                    self.backtrack_to(0);
+                }
+            } else {
+                match self.pick_branch_variable() {
+                    None => {
+                        let model = (0..self.num_vars)
+                            .map(|v| self.values[v].unwrap_or(false))
+                            .collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phases[var];
+                        let lit = Lit::new(var as u32, phase);
+                        let enqueued = self.enqueue(lit, None);
+                        debug_assert!(enqueued, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum WatchOutcome {
+    KeepWatch,
+    Moved,
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_expr::{Cnf, Lit};
+
+    fn lit(v: u32, positive: bool) -> Lit {
+        Lit::new(v, positive)
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = Cnf::new(3);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_clauses() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(1, false)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                assert!(model[0]);
+                assert!(!model[1]);
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clause_is_dropped() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([lit(0, true), lit(0, false)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (x0) & (!x0 | x1) & (!x1 | x2) forces all true.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false), lit(1, true)]);
+        cnf.add_clause([lit(1, false), lit(2, true)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            SatResult::Sat(model) => assert_eq!(model, vec![true, true, true]),
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn unsat_requires_conflict_analysis() {
+        // (a | b) & (a | !b) & (!a | b) & (!a | !b) is unsatisfiable.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(0, true), lit(1, false)]);
+        cnf.add_clause([lit(0, false), lit(1, true)]);
+        cnf.add_clause([lit(0, false), lit(1, false)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+        assert!(solver.stats().conflicts >= 1);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Variables p[i][j]: pigeon i in hole j; i in 0..3, j in 0..2.
+        let var = |i: u32, j: u32| i * 2 + j;
+        let mut cnf = Cnf::new(6);
+        // Each pigeon in some hole.
+        for i in 0..3 {
+            cnf.add_clause([lit(var(i, 0), true), lit(var(i, 1), true)]);
+        }
+        // No two pigeons share a hole.
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    cnf.add_clause([lit(var(i1, j), false), lit(var(i2, j), false)]);
+                }
+            }
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // A slightly larger satisfiable instance.
+        let mut cnf = Cnf::new(6);
+        let clauses: Vec<Vec<(u32, bool)>> = vec![
+            vec![(0, true), (1, false), (2, true)],
+            vec![(1, true), (3, true)],
+            vec![(2, false), (4, true), (5, false)],
+            vec![(0, false), (5, true)],
+            vec![(3, false), (4, false), (5, true)],
+            vec![(1, true), (2, true), (4, true)],
+        ];
+        for c in &clauses {
+            cnf.add_clause(c.iter().map(|&(v, s)| lit(v, s)));
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                assert!(cnf.eval(|v| model[v as usize]));
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn solver_agrees_with_brute_force_on_random_formulas() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            let num_vars = rng.random_range(1..=8u32);
+            let num_clauses = rng.random_range(1..=24usize);
+            let mut cnf = Cnf::new(num_vars);
+            for _ in 0..num_clauses {
+                let width = rng.random_range(1..=3usize);
+                let clause: Vec<Lit> = (0..width)
+                    .map(|_| lit(rng.random_range(0..num_vars), rng.random_bool(0.5)))
+                    .collect();
+                cnf.add_clause(clause);
+            }
+            let brute_force_sat = (0u64..(1 << num_vars))
+                .any(|mask| cnf.eval(|v| mask & (1 << v) != 0));
+            let mut solver = Solver::from_cnf(&cnf);
+            let result = solver.solve();
+            assert_eq!(
+                result.is_sat(),
+                brute_force_sat,
+                "disagreement on {}",
+                cnf.to_dimacs()
+            );
+            if let SatResult::Sat(model) = result {
+                assert!(cnf.eval(|v| model[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_is_repeatable() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(1, false), lit(2, true)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        let first = solver.solve();
+        let second = solver.solve();
+        assert_eq!(first.is_sat(), second.is_sat());
+        assert!(first.is_sat());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        let _ = solver.solve();
+        assert!(solver.stats().decisions >= 1);
+    }
+}

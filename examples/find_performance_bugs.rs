@@ -1,0 +1,85 @@
+//! Hunting performance bugs (unnecessary stalls) in simulation, the way the
+//! FirePath testbench used the derived assertions — and confirming the same
+//! bugs exhaustively with the property checker.
+//!
+//! Run with `cargo run --example find_performance_bugs`.
+
+use ipcl::assertgen::{AssertionKind, SpecMonitor};
+use ipcl::checker::{check_moe_expressions, Engine, SpecDirection};
+use ipcl::core::fixpoint::derive_symbolic;
+use ipcl::core::model::StageRef;
+use ipcl::core::ArchSpec;
+use ipcl::expr::Expr;
+use ipcl::pipesim::{
+    ConservativeInterlock, ConservativeVariant, Machine, MaximalInterlock, WorkloadConfig,
+};
+
+fn main() {
+    let arch = ArchSpec::paper_example();
+    let program = WorkloadConfig::default()
+        .with_packets(2_000)
+        .with_dependence_bias(0.6)
+        .generate(2002);
+
+    println!("=== Simulation with performance assertions attached ===");
+    println!(
+        "{:<28} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "interlock", "cycles", "ipc", "unnecessary", "hazards", "asserts"
+    );
+    // The maximal (derived) interlock and each injected performance bug.
+    let mut policies: Vec<Box<dyn ipcl::pipesim::InterlockPolicy>> =
+        vec![Box::new(MaximalInterlock)];
+    for variant in ConservativeVariant::ALL {
+        policies.push(Box::new(ConservativeInterlock::new(variant)));
+    }
+    for policy in policies {
+        let name = policy.name();
+        let mut machine = Machine::new(&arch, policy).expect("example architecture is valid");
+        let spec = machine.spec().clone();
+        let mut monitor = SpecMonitor::new(&spec, AssertionKind::Performance);
+        let stats = machine.run_program_with_observer(&program, 200_000, |env, moe| {
+            monitor.check_cycle(env, moe);
+        });
+        let assertion_hits = monitor
+            .report()
+            .count_of(ipcl::assertgen::ViolationKind::UnnecessaryStall);
+        println!(
+            "{:<28} {:>8} {:>8.3} {:>12} {:>10} {:>10}",
+            name,
+            stats.cycles,
+            stats.ipc(),
+            stats.unnecessary_stalls,
+            stats.hazards.total(),
+            assertion_hits
+        );
+        // The per-stage performance assertion can under-report for stalls
+        // that "justify each other" through the lock-step coupling (the
+        // cyclic-control caveat of Section 3.2); comparison against the
+        // derived maximal interlock (the `unnecessary` column) is exact.
+    }
+
+    println!("\n=== Exhaustive confirmation with the property checker ===");
+    // Inject the same class of bug symbolically: an interlock derived from a
+    // specification with a spurious extra stall rule.
+    let spec = arch.functional_spec().expect("valid architecture");
+    let wait = spec.pool().lookup("op_is_wait").expect("wait signal");
+    let buggy_spec = spec
+        .augmented(&StageRef::new("long", 3), "spurious-wait", Expr::var(wait))
+        .expect("long.3 exists");
+    let buggy_interlock = derive_symbolic(&buggy_spec).moe;
+    let report = check_moe_expressions(&spec, &buggy_interlock, Engine::Bdd);
+    println!(
+        "functional direction holds : {}",
+        report.holds_direction(SpecDirection::Functional)
+    );
+    println!(
+        "performance direction holds: {}",
+        report.holds_direction(SpecDirection::Performance)
+    );
+    for (stage, witness) in report.performance_violations() {
+        println!(
+            "  unnecessary stall at {stage} witnessed by {}",
+            witness.display_with(spec.pool())
+        );
+    }
+}

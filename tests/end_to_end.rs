@@ -1,0 +1,213 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! specification → derivation → assertions → simulation → synthesis →
+//! property checking, on both the paper's example architecture and the
+//! FirePath-like configuration.
+
+use ipcl::assertgen::{AssertionKind, SpecMonitor, ViolationKind};
+use ipcl::checker::{
+    check_derived_implementation, check_netlist, check_reset_values, Engine, SpecDirection,
+};
+use ipcl::core::example::ExampleArch;
+use ipcl::core::fixpoint::{derive_concrete, derive_symbolic};
+use ipcl::core::model::StageRef;
+use ipcl::core::properties::check_preconditions;
+use ipcl::core::ArchSpec;
+use ipcl::expr::Assignment;
+use ipcl::pipesim::{
+    BrokenInterlock, BrokenVariant, ConservativeInterlock, ConservativeVariant, Machine,
+    MaximalInterlock, WorkloadConfig,
+};
+use ipcl::synth::{synthesize_interlock, synthesize_interlock_with, SynthesisOptions};
+
+/// The complete paper flow on the example architecture: preconditions,
+/// derivation, exhaustive check, synthesis, equivalence.
+#[test]
+fn paper_flow_on_example_architecture() {
+    let spec = ExampleArch::new().functional_spec();
+    assert!(check_preconditions(&spec).all_hold());
+
+    let derivation = derive_symbolic(&spec);
+    assert_eq!(derivation.moe.len(), 6);
+
+    for engine in Engine::ALL {
+        assert!(check_derived_implementation(&spec, engine).holds());
+    }
+
+    let synthesized = synthesize_interlock(&spec);
+    let report = check_netlist(&spec, synthesized.netlist(), Engine::Bdd).unwrap();
+    assert!(report.holds());
+    assert!(synthesized.to_verilog().contains("endmodule"));
+}
+
+/// The same flow on the FirePath-like architecture (the scaled case study).
+#[test]
+fn paper_flow_on_firepath_like_architecture() {
+    let spec = ArchSpec::firepath_like().functional_spec().unwrap();
+    assert!(check_preconditions(&spec).all_hold());
+    assert!(spec.has_cyclic_dependencies());
+    let report = check_derived_implementation(&spec, Engine::Bdd);
+    assert!(report.holds());
+    let synthesized = synthesize_interlock(&spec);
+    assert!(check_netlist(&spec, synthesized.netlist(), Engine::Bdd)
+        .unwrap()
+        .holds());
+}
+
+/// Simulation with the maximal interlock is hazard-free and assertion-clean;
+/// injected performance bugs are caught by the ground-truth comparison and
+/// never cause hazards; injected functional bugs cause hazards that the
+/// functional assertions report.
+#[test]
+fn simulation_and_assertions_classify_injected_bugs() {
+    let arch = ArchSpec::paper_example();
+    let program = WorkloadConfig::default()
+        .with_packets(600)
+        .with_dependence_bias(0.7)
+        .generate(99);
+
+    // Correct interlock.
+    let mut machine = Machine::new(&arch, Box::new(MaximalInterlock)).unwrap();
+    let spec = machine.spec().clone();
+    let mut monitor = SpecMonitor::new(&spec, AssertionKind::Combined);
+    let stats = machine.run_program_with_observer(&program, 100_000, |env, moe| {
+        monitor.check_cycle(env, moe);
+    });
+    assert_eq!(stats.hazards.total(), 0);
+    assert_eq!(stats.unnecessary_stalls, 0);
+    assert!(monitor.report().is_clean());
+
+    // Performance bugs: unnecessary stalls, no hazards.
+    for variant in ConservativeVariant::ALL {
+        let mut machine =
+            Machine::new(&arch, Box::new(ConservativeInterlock::new(variant))).unwrap();
+        let stats = machine.run_program(&program, 200_000);
+        assert_eq!(stats.hazards.total(), 0, "{variant:?}");
+        assert!(stats.unnecessary_stalls > 0, "{variant:?}");
+    }
+
+    // Functional bug: hazards, flagged by the functional assertions.
+    let mut machine = Machine::new(
+        &arch,
+        Box::new(BrokenInterlock::new(BrokenVariant::IgnoreScoreboard)),
+    )
+    .unwrap();
+    let spec = machine.spec().clone();
+    let mut monitor = SpecMonitor::new(&spec, AssertionKind::Functional);
+    let stats = machine.run_program_with_observer(&program, 200_000, |env, moe| {
+        monitor.check_cycle(env, moe);
+    });
+    assert!(stats.hazards.raw_violations > 0);
+    assert!(monitor.report().count_of(ViolationKind::MissedStall) > 0);
+}
+
+/// Property checking distinguishes the two bug classes exactly: conservative
+/// interlocks fail only the performance direction, broken interlocks fail the
+/// functional direction.
+#[test]
+fn property_checking_classifies_bug_classes() {
+    let spec = ExampleArch::new().functional_spec();
+    let wait = spec.pool().lookup("op_is_wait").unwrap();
+
+    // Over-conservative: derived from an augmented specification.
+    let augmented = spec
+        .augmented(
+            &StageRef::new("long", 2),
+            "spurious",
+            ipcl::expr::Expr::var(wait),
+        )
+        .unwrap();
+    let conservative = derive_symbolic(&augmented).moe;
+    let report = ipcl::checker::check_moe_expressions(&spec, &conservative, Engine::Sat);
+    assert!(report.holds_direction(SpecDirection::Functional));
+    assert!(!report.holds_direction(SpecDirection::Performance));
+
+    // Broken: a stage ignores its stall condition entirely.
+    let mut broken = derive_symbolic(&spec).moe;
+    let short2 = spec.moe_var(&StageRef::new("short", 2)).unwrap();
+    broken.insert(short2, ipcl::expr::Expr::TRUE);
+    let report = ipcl::checker::check_moe_expressions(&spec, &broken, Engine::Bdd);
+    assert!(!report.holds_direction(SpecDirection::Functional));
+    assert!(!report.functional_violations().is_empty());
+}
+
+/// The closed-form symbolic derivation, the concrete per-cycle derivation and
+/// the synthesised netlist all agree on every environment of the example
+/// architecture (cross-validation of three independent code paths).
+#[test]
+fn derivation_simulation_and_synthesis_agree() {
+    let spec = ExampleArch::new().functional_spec();
+    let derivation = derive_symbolic(&spec);
+    let synthesized = synthesize_interlock(&spec);
+    let mut simulator = ipcl::rtl::Simulator::new(synthesized.netlist()).unwrap();
+    let env_vars: Vec<_> = spec.env_vars().into_iter().collect();
+    let pool = spec.pool();
+
+    // Exhaustive over the 2^11 environments of the abstract example spec.
+    for mask in 0u64..(1 << env_vars.len()) {
+        let env: Assignment = env_vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, mask & (1 << i) != 0))
+            .collect();
+        let concrete = derive_concrete(&spec, &env);
+        let symbolic = derivation.evaluate(&env);
+        assert_eq!(concrete, symbolic, "mask {mask:b}");
+        for &var in &env_vars {
+            let name = pool.name_or_fallback(var);
+            let signal = synthesized.inputs()[&name];
+            simulator.set_input(signal, env.get_or_false(var));
+        }
+        for stage in spec.stages() {
+            let name = pool.name_or_fallback(stage.moe);
+            let signal = synthesized.moe_outputs()[&name];
+            assert_eq!(
+                simulator.value(signal),
+                concrete.get(stage.moe).unwrap(),
+                "netlist disagrees on {name} for mask {mask:b}"
+            );
+        }
+    }
+}
+
+/// Reset-value bugs are caught by the sequential check and invisible to the
+/// purely combinational equivalence of the next-state functions.
+#[test]
+fn reset_value_bug_detection() {
+    let spec = ExampleArch::new().functional_spec();
+    let buggy = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: false,
+            ..Default::default()
+        },
+    );
+    let report = check_reset_values(&spec, buggy.netlist());
+    assert_eq!(report.mismatches.len(), 6);
+
+    let correct = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: true,
+            ..Default::default()
+        },
+    );
+    assert!(check_reset_values(&spec, correct.netlist()).ok());
+}
+
+/// The generated SVA text references every specification signal and contains
+/// one assertion per stage for each kind.
+#[test]
+fn generated_assertions_cover_the_specification() {
+    let spec = ArchSpec::firepath_like().functional_spec().unwrap();
+    let generator = ipcl::assertgen::sva::SvaGenerator::new(&spec);
+    for kind in AssertionKind::ALL {
+        let text = generator.render_module(kind);
+        assert_eq!(
+            text.matches("assert property").count(),
+            spec.stages().len(),
+            "{kind:?}"
+        );
+    }
+}

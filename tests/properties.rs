@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) of the workspace-level invariants:
+//! the Section 3 theory holds for *randomly generated* monotone
+//! specifications, not just the hand-written architectures, and the
+//! expression/BDD/SAT substrates agree with each other.
+
+use proptest::prelude::*;
+
+use ipcl::bdd::BddManager;
+use ipcl::core::fixpoint::{derive_concrete, derive_symbolic, is_most_liberal};
+use ipcl::core::model::StageRef;
+use ipcl::core::properties::check_preconditions;
+use ipcl::core::spec::{FunctionalSpec, FunctionalSpecBuilder};
+use ipcl::expr::{Assignment, Expr, VarId};
+
+/// Strategy: a random interlocked-pipeline functional specification with
+/// 1–3 pipes of depth 1–4, random extra stall causes and random lock-step
+/// coupling between the issue stages.
+fn arbitrary_spec() -> impl Strategy<Value = FunctionalSpec> {
+    (
+        proptest::collection::vec(1u32..=4, 1..=3),
+        proptest::collection::vec(0u8..=2, 0..=6),
+        any::<bool>(),
+    )
+        .prop_map(|(depths, extra_causes, lockstep)| {
+            let mut builder = FunctionalSpecBuilder::new();
+            // Declare stages, completion stage first per pipe.
+            for (pipe_index, &depth) in depths.iter().enumerate() {
+                let pipe = format!("p{pipe_index}");
+                for stage in (1..=depth).rev() {
+                    builder
+                        .declare_stage(StageRef::new(&pipe, stage))
+                        .expect("unique stages");
+                }
+            }
+            for (pipe_index, &depth) in depths.iter().enumerate() {
+                let pipe = format!("p{pipe_index}");
+                // Completion rule.
+                let last = StageRef::new(&pipe, depth);
+                let req = builder.env(&format!("{pipe}.req"));
+                let gnt = builder.env(&format!("{pipe}.gnt"));
+                builder
+                    .stall_rule(&last, "completion", Expr::and([req, Expr::not(gnt)]))
+                    .expect("declared");
+                // Back-pressure chain.
+                for stage in (1..depth).rev() {
+                    let this = StageRef::new(&pipe, stage);
+                    let rtm = builder.env(&this.rtm());
+                    let downstream = builder.stalled(&this.next());
+                    builder
+                        .stall_rule(&this, "backpressure", Expr::and([rtm, downstream]))
+                        .expect("declared");
+                }
+            }
+            // Random extra causes on issue stages.
+            for (i, &kind) in extra_causes.iter().enumerate() {
+                let pipe = format!("p{}", i % depths.len());
+                let issue = StageRef::new(&pipe, 1);
+                let cause = match kind {
+                    0 => builder.env("op_is_wait"),
+                    1 => builder.env(&format!("{pipe}.1.operand_outstanding")),
+                    _ => {
+                        let a = builder.env(&format!("hazard{i}_a"));
+                        let b = builder.env(&format!("hazard{i}_b"));
+                        Expr::and([a, b])
+                    }
+                };
+                builder
+                    .stall_rule(&issue, "extra", cause)
+                    .expect("issue stage exists");
+            }
+            // Optional lock-step coupling of all issue stages.
+            if lockstep && depths.len() > 1 {
+                for i in 0..depths.len() {
+                    for j in 0..depths.len() {
+                        if i == j {
+                            continue;
+                        }
+                        let this = StageRef::new(&format!("p{i}"), 1);
+                        let other = builder.stalled(&StageRef::new(&format!("p{j}"), 1));
+                        builder
+                            .stall_rule(&this, "lockstep", other)
+                            .expect("issue stage exists");
+                    }
+                }
+            }
+            builder.build().expect("generated spec is well-formed")
+        })
+}
+
+/// A random environment assignment for a specification.
+fn env_for(spec: &FunctionalSpec, bits: u64) -> Assignment {
+    spec.env_vars()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, bits & (1 << (i % 63)) != 0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated specification satisfies the Section 3.1 preconditions
+    /// by construction.
+    #[test]
+    fn generated_specs_satisfy_preconditions(spec in arbitrary_spec()) {
+        let report = check_preconditions(&spec);
+        prop_assert!(report.monotone);
+        prop_assert!(report.p1_all_stalled_satisfies);
+        prop_assert!(report.p2_disjunction_closed);
+    }
+
+    /// The concrete fixed point is the unique most liberal satisfying
+    /// assignment (Section 3.2 maximality), for random environments.
+    #[test]
+    fn derived_assignment_is_most_liberal(spec in arbitrary_spec(), bits in any::<u64>()) {
+        prop_assume!(spec.moe_vars().len() <= 12);
+        let env = env_for(&spec, bits);
+        let moe = derive_concrete(&spec, &env);
+        prop_assert!(is_most_liberal(&spec, &env, &moe));
+    }
+
+    /// The symbolic closed forms agree with the concrete iteration.
+    #[test]
+    fn symbolic_and_concrete_derivations_agree(spec in arbitrary_spec(), bits in any::<u64>()) {
+        let derivation = derive_symbolic(&spec);
+        let env = env_for(&spec, bits);
+        prop_assert_eq!(derive_concrete(&spec, &env), derivation.evaluate(&env));
+    }
+
+    /// The derived assignment satisfies the combined specification: checked
+    /// via the BDD engine by substituting the closed forms and asserting the
+    /// result is a tautology.
+    #[test]
+    fn derived_assignment_satisfies_combined_spec(spec in arbitrary_spec()) {
+        let derivation = derive_symbolic(&spec);
+        let combined = spec.combined_expr();
+        let substituted = combined.substitute(&|v: VarId| derivation.moe.get(&v).cloned());
+        let mut manager = BddManager::new();
+        let f = manager.from_expr(&substituted);
+        prop_assert!(manager.is_tautology(f));
+    }
+
+    /// Disjunction closure (property P2) holds semantically: the pointwise OR
+    /// of the derived assignment with any satisfying assignment satisfies the
+    /// functional specification (and equals the derived assignment, by
+    /// maximality).
+    #[test]
+    fn disjunction_with_any_satisfying_assignment_is_satisfying(
+        spec in arbitrary_spec(),
+        bits in any::<u64>(),
+        other_bits in any::<u64>(),
+    ) {
+        prop_assume!(spec.moe_vars().len() <= 12);
+        let env = env_for(&spec, bits);
+        let functional = spec.functional_expr();
+        let moe_vars = spec.moe_vars();
+        let eval = |candidate: &dyn Fn(VarId) -> bool| {
+            functional.eval_with(|v| {
+                if moe_vars.contains(&v) { candidate(v) } else { env.get_or_false(v) }
+            })
+        };
+        // A random satisfying assignment: mask the derived maximum.
+        let derived = derive_concrete(&spec, &env);
+        let candidate = |v: VarId| {
+            let index = moe_vars.iter().position(|&x| x == v).expect("moe var");
+            derived.get_or_false(v) && (other_bits & (1 << (index % 63)) != 0)
+        };
+        prop_assume!(eval(&candidate));
+        // OR with the derived maximum still satisfies (and is the maximum).
+        let union = |v: VarId| candidate(v) || derived.get_or_false(v);
+        prop_assert!(eval(&union));
+    }
+}
