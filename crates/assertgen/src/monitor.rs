@@ -124,7 +124,9 @@ impl SpecMonitor {
             let functional_violated = condition_holds && moving;
             let performance_violated = !moving && !condition_holds;
             let relevant = match self.kind {
-                AssertionKind::Functional => functional_violated.then_some(ViolationKind::MissedStall),
+                AssertionKind::Functional => {
+                    functional_violated.then_some(ViolationKind::MissedStall)
+                }
                 AssertionKind::Performance => {
                     performance_violated.then_some(ViolationKind::UnnecessaryStall)
                 }
@@ -215,7 +217,9 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].kind, ViolationKind::MissedStall);
         assert_eq!(violations[0].stage, "long.1");
-        assert!(violations[0].active_rules.contains(&"wait-state".to_owned()));
+        assert!(violations[0]
+            .active_rules
+            .contains(&"wait-state".to_owned()));
         // A pure performance monitor does not flag the over-eager stage
         // itself (missed stalls are invisible to it). It may, however, flag
         // the lock-step partner whose stall is now unjustified — which is why
@@ -252,8 +256,7 @@ mod tests {
         let mut moe = derive_concrete(&spec, &env);
         let long3 = spec.moe_var(&StageRef::new("long", 3)).unwrap();
         moe.set(long3, false);
-        let mut monitor =
-            SpecMonitor::new(&spec, AssertionKind::Performance).with_max_recorded(2);
+        let mut monitor = SpecMonitor::new(&spec, AssertionKind::Performance).with_max_recorded(2);
         for _ in 0..10 {
             monitor.check_cycle(&env, &moe);
         }

@@ -39,8 +39,8 @@ impl BddManager {
 
         let mut cache: HashMap<BddRef, u128> = HashMap::new();
         let total_positions = order.len();
-        let count = self.count_rec(f, 0, total_positions, &position, &mut cache);
-        count
+
+        self.count_rec(f, 0, total_positions, &position, &mut cache)
     }
 
     fn level_of_var(&self, var: VarId) -> Option<u32> {
@@ -156,6 +156,31 @@ impl Iterator for ModelIter<'_> {
     }
 }
 
+impl BddManager {
+    /// Evaluates `f` treating `cube` as a partial assignment: variables not in
+    /// the cube may take any value, and the result is `true` iff every
+    /// completion satisfies `f` along the cube path.
+    ///
+    /// Used by tests to validate cube enumeration; for total assignments use
+    /// [`BddManager::eval`].
+    pub fn eval_cube(&self, f: BddRef, cube: &Assignment) -> bool {
+        let mut cursor = f;
+        while let Some((level, low, high)) = self.children(cursor) {
+            let var = self.var_at_level(level).expect("registered variable");
+            match cube.get(var) {
+                Some(true) => cursor = high,
+                Some(false) => cursor = low,
+                // Unconstrained by the cube: both branches must agree for the
+                // cube to be a genuine implicant.
+                None => {
+                    return self.eval_cube(low, cube) && self.eval_cube(high, cube);
+                }
+            }
+        }
+        cursor == BddRef::TRUE
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,30 +263,5 @@ mod tests {
         let cubes: Vec<_> = mgr.models(f).collect();
         assert_eq!(cubes.len(), 1);
         assert!(cubes[0].is_empty());
-    }
-}
-
-impl BddManager {
-    /// Evaluates `f` treating `cube` as a partial assignment: variables not in
-    /// the cube may take any value, and the result is `true` iff every
-    /// completion satisfies `f` along the cube path.
-    ///
-    /// Used by tests to validate cube enumeration; for total assignments use
-    /// [`BddManager::eval`].
-    pub fn eval_cube(&self, f: BddRef, cube: &Assignment) -> bool {
-        let mut cursor = f;
-        while let Some((level, low, high)) = self.children(cursor) {
-            let var = self.var_at_level(level).expect("registered variable");
-            match cube.get(var) {
-                Some(true) => cursor = high,
-                Some(false) => cursor = low,
-                // Unconstrained by the cube: both branches must agree for the
-                // cube to be a genuine implicant.
-                None => {
-                    return self.eval_cube(low, cube) && self.eval_cube(high, cube);
-                }
-            }
-        }
-        cursor == BddRef::TRUE
     }
 }

@@ -89,8 +89,16 @@ impl BddManager {
             // Index 0 and 1 are the terminals; their node contents are never
             // inspected, but keeping real entries keeps indexing simple.
             nodes: vec![
-                Node { level: u32::MAX, low: BddRef::FALSE, high: BddRef::FALSE },
-                Node { level: u32::MAX, low: BddRef::TRUE, high: BddRef::TRUE },
+                Node {
+                    level: u32::MAX,
+                    low: BddRef::FALSE,
+                    high: BddRef::FALSE,
+                },
+                Node {
+                    level: u32::MAX,
+                    low: BddRef::TRUE,
+                    high: BddRef::TRUE,
+                },
             ],
             unique: HashMap::new(),
             apply_cache: HashMap::new(),
@@ -653,13 +661,12 @@ mod tests {
                     .enumerate()
                     .map(|(i, &v)| (v, mask & (1 << i) != 0))
                     .collect();
-                let expected = e
-                    .eval_with(|v| {
-                        vars.iter()
-                            .position(|&x| x == v)
-                            .map(|i| mask & (1 << i) != 0)
-                            .unwrap_or(false)
-                    });
+                let expected = e.eval_with(|v| {
+                    vars.iter()
+                        .position(|&x| x == v)
+                        .map(|i| mask & (1 << i) != 0)
+                        .unwrap_or(false)
+                });
                 assert_eq!(mgr.eval(f, &env), expected, "{text} mask {mask:b}");
             }
         }

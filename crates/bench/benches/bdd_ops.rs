@@ -17,7 +17,10 @@ fn bench_bdd_build(c: &mut Criterion) {
     ] {
         let spec = arch.functional_spec().expect("well-formed");
         let combined = spec.combined_expr();
-        for heuristic in [OrderHeuristic::FirstOccurrence, OrderHeuristic::FrequencyFirst] {
+        for heuristic in [
+            OrderHeuristic::FirstOccurrence,
+            OrderHeuristic::FrequencyFirst,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{heuristic:?}"), &arch.name),
                 &combined,

@@ -58,5 +58,9 @@ fn bench_concrete_derivation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_symbolic_derivation, bench_concrete_derivation);
+criterion_group!(
+    benches,
+    bench_symbolic_derivation,
+    bench_concrete_derivation
+);
 criterion_main!(benches);

@@ -17,9 +17,11 @@ fn bench_synthesis(c: &mut Criterion) {
         ArchSpec::firepath_like(),
     ] {
         let spec = arch.functional_spec().expect("well-formed");
-        group.bench_with_input(BenchmarkId::new("synthesize", &arch.name), &spec, |b, spec| {
-            b.iter(|| synthesize_interlock(spec))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", &arch.name),
+            &spec,
+            |b, spec| b.iter(|| synthesize_interlock(spec)),
+        );
         let synthesized = synthesize_interlock(&spec);
         group.bench_with_input(
             BenchmarkId::new("equivalence_bdd", &arch.name),

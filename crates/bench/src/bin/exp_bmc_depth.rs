@@ -1,0 +1,104 @@
+//! Experiment E9: BMC scaling with unroll depth k.
+//!
+//! Sweeps the unroll depth of a falsification-free BMC run (the combined
+//! specification at registered latency, which holds at every depth) on the
+//! registered paper-example interlock, in both solver modes:
+//!
+//! * `incremental` — one solver shared across depths, property activation
+//!   via assumptions, learned clauses retained;
+//! * `scratch` — a fresh unrolling and solver per depth.
+//!
+//! Emits a JSON array (one object per `(mode, depth)` point) with wall-clock
+//! solve time, clause counts and CDCL statistics, to seed the benchmarking
+//! trajectory of the repository. The incremental path should be measurably
+//! faster and its advantage should grow with depth.
+
+use std::time::Instant;
+
+use ipcl_bmc::{check_property, BmcOptions, Latency, PropertyKind, SequentialProperty};
+use ipcl_core::example::ExampleArch;
+use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
+
+fn main() {
+    let spec = ExampleArch::new().functional_spec();
+    let synthesized = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: true,
+            ..Default::default()
+        },
+    );
+    let property =
+        SequentialProperty::for_stage(&spec, 0, PropertyKind::Combined, Latency::Registered);
+
+    // One warm-up run so first-touch allocation noise stays out of depth 1.
+    let _ = check_property(
+        &spec,
+        synthesized.netlist(),
+        &property,
+        &BmcOptions::with_depth(2),
+    );
+
+    let mut entries = Vec::new();
+    let mut incremental_total = 0.0f64;
+    let mut scratch_total = 0.0f64;
+    for depth in [1usize, 2, 4, 6, 8, 12, 16, 24, 32] {
+        for (mode, incremental) in [("incremental", true), ("scratch", false)] {
+            let options = BmcOptions {
+                max_depth: depth,
+                incremental,
+                induction: false,
+                ..Default::default()
+            };
+            // Median of three runs keeps scheduler noise out of the trend.
+            let mut times = Vec::new();
+            let mut last_stats = None;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let result = check_property(&spec, synthesized.netlist(), &property, &options)
+                    .expect("netlist elaborates");
+                times.push(start.elapsed().as_secs_f64() * 1e3);
+                assert!(
+                    !result.outcome.is_falsified(),
+                    "combined/registered property holds at every depth"
+                );
+                last_stats = Some(result.stats);
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let median_ms = times[1];
+            let stats = last_stats.expect("three runs completed");
+            if incremental {
+                incremental_total += median_ms;
+            } else {
+                scratch_total += median_ms;
+            }
+            entries.push(format!(
+                concat!(
+                    "  {{\"experiment\": \"bmc_depth\", \"mode\": \"{}\", \"depth\": {}, ",
+                    "\"solve_ms\": {:.3}, \"clauses\": {}, \"solve_calls\": {}, ",
+                    "\"conflicts\": {}, \"propagations\": {}}}"
+                ),
+                mode,
+                depth,
+                median_ms,
+                stats.base_clauses,
+                stats.solve_calls,
+                stats.conflicts,
+                stats.propagations,
+            ));
+        }
+    }
+    println!("[");
+    println!("{}", entries.join(",\n"));
+    println!("]");
+    eprintln!(
+        "total solve time: incremental {incremental_total:.1} ms, scratch {scratch_total:.1} ms \
+         ({:.2}x)",
+        scratch_total / incremental_total.max(1e-9)
+    );
+    assert!(
+        incremental_total < scratch_total,
+        "incremental BMC must beat from-scratch re-encoding across the sweep"
+    );
+}

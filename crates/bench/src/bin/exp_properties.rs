@@ -6,7 +6,7 @@ use ipcl_core::properties::check_preconditions;
 use ipcl_core::ArchSpec;
 use ipcl_expr::Assignment;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 fn main() {
     println!("# Section 3 properties across architectures\n");

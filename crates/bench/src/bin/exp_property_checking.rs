@@ -89,10 +89,7 @@ fn main() {
             .lookup("long.1.operand_outstanding")
             .expect("abstract operand signal");
         let original = missing_scoreboard[&long1].clone();
-        missing_scoreboard.insert(
-            long1,
-            Expr::or([original, Expr::var(outstanding)]),
-        );
+        missing_scoreboard.insert(long1, Expr::or([original, Expr::var(outstanding)]));
         let report = check_moe_expressions(&spec, &missing_scoreboard, engine);
         let witness = report
             .functional_violations()
@@ -139,5 +136,9 @@ fn main() {
 }
 
 fn holds(value: bool) -> String {
-    if value { "holds".into() } else { "VIOLATED".into() }
+    if value {
+        "holds".into()
+    } else {
+        "VIOLATED".into()
+    }
 }

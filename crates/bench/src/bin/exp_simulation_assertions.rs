@@ -18,13 +18,15 @@ fn policies() -> Vec<Box<dyn InterlockPolicy>> {
     for variant in ConservativeVariant::ALL {
         policies.push(Box::new(ConservativeInterlock::new(variant)));
     }
-    policies.push(Box::new(BrokenInterlock::new(BrokenVariant::IgnoreScoreboard)));
+    policies.push(Box::new(BrokenInterlock::new(
+        BrokenVariant::IgnoreScoreboard,
+    )));
     policies.push(Box::new(BrokenInterlock::new(
         BrokenVariant::IgnoreCompletionGrant,
     )));
-    policies.push(Box::new(BrokenInterlock::new(BrokenVariant::BadResetValues {
-        cycles: 4,
-    })));
+    policies.push(Box::new(BrokenInterlock::new(
+        BrokenVariant::BadResetValues { cycles: 4 },
+    )));
     policies
 }
 

@@ -8,9 +8,7 @@
 //! reports from redesigning the completion logic after the analysis.
 
 use ipcl_core::ArchSpec;
-use ipcl_pipesim::{
-    ConservativeInterlock, ConservativeVariant, InterlockPolicy, MaximalInterlock,
-};
+use ipcl_pipesim::{ConservativeInterlock, ConservativeVariant, InterlockPolicy, MaximalInterlock};
 
 fn main() {
     let arch = ArchSpec::paper_example();
@@ -38,14 +36,8 @@ fn main() {
             }
             let mut baseline_cycles = None;
             for (name, policy) in runs {
-                let stats = ipcl_bench::simulate(
-                    &arch,
-                    policy,
-                    packets,
-                    dependence,
-                    utilisation,
-                    0xF1DE,
-                );
+                let stats =
+                    ipcl_bench::simulate(&arch, policy, packets, dependence, utilisation, 0xF1DE);
                 if name == "maximal" {
                     baseline_cycles = Some(stats.cycles);
                 }

@@ -10,7 +10,13 @@ use ipcl_core::{ArchSpec, ExampleArch};
 fn main() {
     let arch = ArchSpec::paper_example();
     println!("# Figure 1 — example pipeline architecture\n");
-    ipcl_bench::header(&["pipe", "stages", "completion bus", "observes wait", "scoreboard"]);
+    ipcl_bench::header(&[
+        "pipe",
+        "stages",
+        "completion bus",
+        "observes wait",
+        "scoreboard",
+    ]);
     for pipe in &arch.pipes {
         ipcl_bench::row(&[
             pipe.name.clone(),
@@ -21,10 +27,7 @@ fn main() {
         ]);
     }
     println!();
-    println!(
-        "lock-step issue groups : {:?}",
-        arch.lockstep_groups
-    );
+    println!("lock-step issue groups : {:?}", arch.lockstep_groups);
     println!("architectural registers: {}", arch.scoreboard_registers);
     println!(
         "completion buses       : {}",

@@ -18,7 +18,10 @@ pub fn row(cells: &[String]) {
 /// Prints a markdown-style table header with separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// The bug-injection matrix used by the assertion and property-checking
@@ -65,8 +68,8 @@ pub fn performance_bug_matrix(spec: &FunctionalSpec) -> Vec<(String, String, Exp
     // are caught by comparison against the derived maximal assignment, which
     // the simulation experiments perform.)
     for stage in spec.stages() {
-        let is_intermediate = stage.stage.stage > 1
-            && !stage.rules.iter().any(|r| r.label == "completion-bus-lost");
+        let is_intermediate =
+            stage.stage.stage > 1 && !stage.rules.iter().any(|r| r.label == "completion-bus-lost");
         if is_intermediate {
             if let Some(rtm) = pool.lookup(&stage.stage.rtm()) {
                 bugs.push((

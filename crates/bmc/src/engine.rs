@@ -1,0 +1,632 @@
+//! The bounded-model-checking and k-induction engine.
+//!
+//! Following Bryant & German's reduction of processor correctness to
+//! propositional SAT, a sequential property over an `ipcl-rtl` netlist is
+//! decided by *time-frame unrolling* (see [`ipcl_rtl::unroll`]):
+//!
+//! * **Falsification (BMC).** Starting from the reset state, frames are
+//!   appended one at a time; at each depth the negated property instance of
+//!   the newest frame is activated *as a solver assumption* and the
+//!   incremental CDCL solver is asked for a model. A model is decoded into a
+//!   replayable [`Counterexample`]; because depths are explored in order the
+//!   first hit is a minimal-length trace.
+//! * **Proof (k-induction).** A second, initial-state-free unrolling asserts
+//!   the property for `k` consecutive instances, constrains the path to be
+//!   loop-free (pairwise-distinct register states) and asks whether instance
+//!   `k+1` can still fail. An UNSAT answer, combined with the base cases
+//!   already checked, proves the property for **all** cycles — reset
+//!   correctness and "no spurious stall reachable from reset" become
+//!   theorems instead of sampled claims.
+//!
+//! Both unrollings share one [`ipcl_sat::Solver`] each across depths, so
+//! learned clauses from depth *d* accelerate depth *d+1*; the
+//! `incremental: false` option re-encodes from scratch at every depth and
+//! exists to quantify that speedup (see the `bmc` bench and
+//! `exp_bmc_depth`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ipcl_core::FunctionalSpec;
+use ipcl_expr::{Expr, Lit, VarId};
+use ipcl_rtl::{InitialState, Netlist, RtlError, Unroller};
+use ipcl_sat::{SatResult, Solver};
+
+use crate::property::SequentialProperty;
+use crate::trace::Counterexample;
+
+/// Errors reported by the BMC engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BmcError {
+    /// The netlist failed to elaborate.
+    Rtl(RtlError),
+    /// The netlist does not implement these specification `moe` signals.
+    MissingSignals(Vec<String>),
+}
+
+impl fmt::Display for BmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmcError::Rtl(e) => write!(f, "netlist error: {e}"),
+            BmcError::MissingSignals(names) => {
+                write!(f, "netlist misses moe signals: {}", names.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for BmcError {}
+
+impl From<RtlError> for BmcError {
+    fn from(e: RtlError) -> Self {
+        BmcError::Rtl(e)
+    }
+}
+
+/// Knobs of one BMC / k-induction run.
+#[derive(Clone, Copy, Debug)]
+pub struct BmcOptions {
+    /// Maximum unroll depth (frames − 1). `Engine::Bmc { k }` maps here.
+    pub max_depth: usize,
+    /// Number of leading frames whose inputs are forced to zero. The
+    /// post-reset environment of an interlocked pipeline is quiet (the
+    /// pipeline is empty, nothing requests), so constraining the first
+    /// frame(s) rules out counterfeit "hazard at reset" traces while still
+    /// letting bugs that need an event-then-wait pattern surface later.
+    pub quiet_cycles: usize,
+    /// Reuse one incremental solver across depths (the default). `false`
+    /// re-encodes and re-solves from scratch at every depth — kept for the
+    /// ablation benchmark.
+    pub incremental: bool,
+    /// Attempt a k-induction proof after each passed base depth.
+    pub induction: bool,
+}
+
+impl Default for BmcOptions {
+    fn default() -> Self {
+        BmcOptions {
+            max_depth: 10,
+            quiet_cycles: 1,
+            incremental: true,
+            induction: true,
+        }
+    }
+}
+
+impl BmcOptions {
+    /// Options with an explicit depth bound.
+    pub fn with_depth(max_depth: usize) -> Self {
+        BmcOptions {
+            max_depth,
+            ..Default::default()
+        }
+    }
+}
+
+/// Aggregate statistics of one property run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BmcStats {
+    /// Deepest base frame encoded.
+    pub depth_reached: usize,
+    /// SAT queries issued (base + induction).
+    pub solve_calls: usize,
+    /// Clauses in the base unrolling at the end of the run.
+    pub base_clauses: usize,
+    /// Clauses in the induction unrolling at the end of the run.
+    pub induction_clauses: usize,
+    /// Conflicts accumulated across both solvers.
+    pub conflicts: u64,
+    /// Propagations accumulated across both solvers.
+    pub propagations: u64,
+}
+
+/// The verdict of one property run.
+#[derive(Clone, Debug)]
+pub enum BmcOutcome {
+    /// The property fails; the trace is minimal-length and replayable.
+    Falsified(Counterexample),
+    /// The property holds on **all** cycles, proved by k-induction at the
+    /// given depth.
+    Proved {
+        /// The `k` at which the inductive step became unsatisfiable.
+        induction_depth: usize,
+    },
+    /// No violation up to `depth_checked`, but no inductive proof either.
+    Unknown {
+        /// Deepest base case that passed.
+        depth_checked: usize,
+    },
+}
+
+impl BmcOutcome {
+    /// Whether the outcome is a proof.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, BmcOutcome::Proved { .. })
+    }
+
+    /// Whether the outcome is a falsification.
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, BmcOutcome::Falsified(_))
+    }
+
+    /// The counterexample, if falsified.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            BmcOutcome::Falsified(cex) => Some(cex),
+            _ => None,
+        }
+    }
+}
+
+/// Result of checking one property.
+#[derive(Clone, Debug)]
+pub struct BmcResult {
+    /// The property that was checked.
+    pub property: SequentialProperty,
+    /// The verdict.
+    pub outcome: BmcOutcome,
+    /// Search statistics.
+    pub stats: BmcStats,
+}
+
+/// One unrolling (reset-rooted or free) plus its incremental solver and the
+/// bookkeeping to push only newly generated clauses.
+struct Run {
+    unroller: Unroller,
+    solver: Solver,
+    pushed_clauses: usize,
+    /// Auxiliary literals for spec variables the netlist does not implement,
+    /// keyed by `(frame, var)`.
+    aux: BTreeMap<(usize, VarId), Lit>,
+    quiet_cycles: usize,
+}
+
+impl Run {
+    fn new(
+        netlist: &Netlist,
+        initial: InitialState,
+        quiet_cycles: usize,
+    ) -> Result<Self, RtlError> {
+        let unroller = Unroller::new(netlist, initial)?;
+        Ok(Run {
+            solver: Solver::new(unroller.cnf().num_vars as usize),
+            unroller,
+            pushed_clauses: 0,
+            aux: BTreeMap::new(),
+            quiet_cycles: if initial == InitialState::Reset {
+                quiet_cycles
+            } else {
+                0
+            },
+        })
+    }
+
+    /// Appends frames until `frames` exist, forcing quiet-cycle inputs low.
+    fn ensure_frames(&mut self, frames: usize) {
+        while self.unroller.num_frames() < frames {
+            let frame = self.unroller.add_frame();
+            if frame < self.quiet_cycles {
+                for input in self.unroller.netlist().inputs() {
+                    let lit = self.unroller.lit(frame, input);
+                    self.unroller.add_clause([lit.negated()]);
+                }
+            }
+        }
+    }
+
+    /// Transfers clauses generated since the last sync into the solver.
+    fn sync_solver(&mut self) {
+        let clauses = &self.unroller.cnf().clauses;
+        self.solver
+            .reserve_vars(self.unroller.cnf().num_vars as usize);
+        for clause in &clauses[self.pushed_clauses..] {
+            self.solver.add_clause(clause.iter().copied());
+        }
+        self.pushed_clauses = clauses.len();
+    }
+
+    /// The literal of spec variable `var` at `frame`: the netlist signal of
+    /// the same name when it exists, a cached auxiliary literal otherwise.
+    fn var_lit(&mut self, spec: &FunctionalSpec, frame: usize, var: VarId) -> Lit {
+        let name = spec.pool().name_or_fallback(var);
+        if let Some(signal) = self.unroller.netlist().find(&name) {
+            return self.unroller.lit(frame, signal);
+        }
+        if let Some(&lit) = self.aux.get(&(frame, var)) {
+            return lit;
+        }
+        let lit = self.unroller.fresh_lit();
+        // Auxiliary environment variables respect the quiet-cycle constraint
+        // like real inputs.
+        if frame < self.quiet_cycles {
+            self.unroller.add_clause([lit.negated()]);
+        }
+        self.aux.insert((frame, var), lit);
+        lit
+    }
+
+    /// Tseitin-encodes `expr` over the literals of a property instance:
+    /// `moe` variables at `moe_frame`, everything else at `env_frame`.
+    fn encode_expr(
+        &mut self,
+        spec: &FunctionalSpec,
+        moe_vars: &BTreeSet<VarId>,
+        expr: &Expr,
+        env_frame: usize,
+        moe_frame: usize,
+    ) -> Lit {
+        match expr {
+            Expr::Const(true) => self.unroller.const_true(),
+            Expr::Const(false) => self.unroller.const_true().negated(),
+            Expr::Var(var) => {
+                let frame = if moe_vars.contains(var) {
+                    moe_frame
+                } else {
+                    env_frame
+                };
+                self.var_lit(spec, frame, *var)
+            }
+            Expr::Not(e) => self
+                .encode_expr(spec, moe_vars, e, env_frame, moe_frame)
+                .negated(),
+            Expr::And(ops) => {
+                let lits: Vec<Lit> = ops
+                    .iter()
+                    .map(|op| self.encode_expr(spec, moe_vars, op, env_frame, moe_frame))
+                    .collect();
+                self.unroller.define_and(&lits)
+            }
+            Expr::Or(ops) => {
+                let negated: Vec<Lit> = ops
+                    .iter()
+                    .map(|op| {
+                        self.encode_expr(spec, moe_vars, op, env_frame, moe_frame)
+                            .negated()
+                    })
+                    .collect();
+                self.unroller.define_and(&negated).negated()
+            }
+            Expr::Implies(l, r) => {
+                let l = self.encode_expr(spec, moe_vars, l, env_frame, moe_frame);
+                let r = self.encode_expr(spec, moe_vars, r, env_frame, moe_frame);
+                self.unroller.define_and(&[l, r.negated()]).negated()
+            }
+            Expr::Iff(l, r) => {
+                let l = self.encode_expr(spec, moe_vars, l, env_frame, moe_frame);
+                let r = self.encode_expr(spec, moe_vars, r, env_frame, moe_frame);
+                self.unroller.define_xor(l, r).negated()
+            }
+            Expr::Xor(l, r) => {
+                let l = self.encode_expr(spec, moe_vars, l, env_frame, moe_frame);
+                let r = self.encode_expr(spec, moe_vars, r, env_frame, moe_frame);
+                self.unroller.define_xor(l, r)
+            }
+            Expr::Ite(c, t, e) => {
+                let c = self.encode_expr(spec, moe_vars, c, env_frame, moe_frame);
+                let t = self.encode_expr(spec, moe_vars, t, env_frame, moe_frame);
+                let e = self.encode_expr(spec, moe_vars, e, env_frame, moe_frame);
+                self.unroller.define_mux(c, t, e)
+            }
+        }
+    }
+
+    /// Encodes the property instance whose `moe` sample is `moe_frame`,
+    /// returning the literal of `ok` at that instance.
+    fn encode_instance(
+        &mut self,
+        spec: &FunctionalSpec,
+        moe_vars: &BTreeSet<VarId>,
+        property: &SequentialProperty,
+        moe_frame: usize,
+    ) -> Lit {
+        let env_frame = moe_frame - property.latency.offset();
+        self.encode_expr(spec, moe_vars, &property.ok, env_frame, moe_frame)
+    }
+
+    /// Decodes a model into per-frame input valuations.
+    fn decode_trace(
+        &self,
+        spec: &FunctionalSpec,
+        model: &[bool],
+        frames: usize,
+    ) -> Vec<BTreeMap<String, bool>> {
+        let lit_value = |lit: Lit| model[lit.var() as usize] == lit.is_positive();
+        (0..frames)
+            .map(|frame| {
+                let mut values = BTreeMap::new();
+                for input in self.unroller.netlist().inputs() {
+                    let name = self.unroller.netlist().signal(input).name.clone();
+                    values.insert(name, lit_value(self.unroller.lit(frame, input)));
+                }
+                // Environment variables the netlist implements as non-input
+                // signals (wires, registers) must still appear in the trace:
+                // the replay evaluates the property's environment from the
+                // recorded frames, not from the simulator.
+                for var in spec.env_vars() {
+                    let name = spec.pool().name_or_fallback(var);
+                    if let Some(signal) = self.unroller.netlist().find(&name) {
+                        values
+                            .entry(name)
+                            .or_insert_with(|| lit_value(self.unroller.lit(frame, signal)));
+                    }
+                }
+                for (&(aux_frame, var), &lit) in &self.aux {
+                    if aux_frame == frame {
+                        values.insert(spec.pool().name_or_fallback(var), lit_value(lit));
+                    }
+                }
+                values
+            })
+            .collect()
+    }
+}
+
+/// Validates that every `moe` signal the property portfolio mentions exists
+/// in the netlist.
+pub fn missing_moe_signals(spec: &FunctionalSpec, netlist: &Netlist) -> Vec<String> {
+    spec.stages()
+        .iter()
+        .filter_map(|stage| {
+            let name = spec.pool().name_or_fallback(stage.moe);
+            match netlist.find(&name) {
+                Some(_) => None,
+                None => Some(name),
+            }
+        })
+        .collect()
+}
+
+/// Checks one sequential property on `netlist` against `spec`.
+///
+/// See the module docs for the algorithm. The returned counterexample (if
+/// any) is of minimal length and replays deterministically through
+/// [`ipcl_rtl::Simulator`] (asserted by the caller via
+/// [`Counterexample::replay`]).
+///
+/// # Errors
+///
+/// [`BmcError::MissingSignals`] if the property's stage has no `moe` signal
+/// in the netlist; [`BmcError::Rtl`] if the netlist does not elaborate.
+pub fn check_property(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    options: &BmcOptions,
+) -> Result<BmcResult, BmcError> {
+    let missing: Vec<String> = spec
+        .stages()
+        .iter()
+        .filter(|stage| stage.stage.prefix() == property.stage)
+        .filter_map(|stage| {
+            let name = spec.pool().name_or_fallback(stage.moe);
+            netlist.find(&name).is_none().then_some(name)
+        })
+        .collect();
+    if !missing.is_empty() {
+        return Err(BmcError::MissingSignals(missing));
+    }
+
+    let moe_vars: BTreeSet<VarId> = spec.moe_vars().into_iter().collect();
+    let mut stats = BmcStats::default();
+
+    let mut base = if options.incremental {
+        Some(Run::new(
+            netlist,
+            InitialState::Reset,
+            options.quiet_cycles,
+        )?)
+    } else {
+        None
+    };
+    let mut induction: Option<Run> = None;
+    // `ok` literals of instances already assumed in the induction unrolling.
+    let mut induction_assumed: Vec<Lit> = Vec::new();
+
+    let first = property.latency.first_instance();
+    for moe_frame in first..=options.max_depth.max(first) {
+        stats.depth_reached = moe_frame;
+
+        // ---- Base case: a reset-rooted violation at exactly this depth?
+        let base_result = if let Some(run) = base.as_mut() {
+            run.ensure_frames(moe_frame + 1);
+            let ok = run.encode_instance(spec, &moe_vars, property, moe_frame);
+            run.sync_solver();
+            stats.solve_calls += 1;
+            let result = run.solver.solve_under_assumptions(&[ok.negated()]);
+            stats.base_clauses = run.solver.num_clauses();
+            result
+        } else {
+            // From-scratch mode: fresh unrolling and solver per depth.
+            let mut run = Run::new(netlist, InitialState::Reset, options.quiet_cycles)?;
+            run.ensure_frames(moe_frame + 1);
+            let ok = run.encode_instance(spec, &moe_vars, property, moe_frame);
+            run.unroller.add_clause([ok.negated()]);
+            run.sync_solver();
+            stats.solve_calls += 1;
+            let result = run.solver.solve();
+            stats.base_clauses = run.solver.num_clauses();
+            stats.conflicts += run.solver.stats().conflicts;
+            stats.propagations += run.solver.stats().propagations;
+            if result.is_sat() {
+                base = Some(run); // keep for trace decoding below
+            }
+            result
+        };
+
+        if let SatResult::Sat(model) = base_result {
+            let run = base.as_ref().expect("sat base run is retained");
+            let frames = run.decode_trace(spec, &model, moe_frame + 1);
+            let counterexample = Counterexample {
+                property: property.name.clone(),
+                frames,
+                violation_frame: moe_frame,
+            };
+            // Scratch mode already recorded this solver's stats above.
+            if options.incremental {
+                if let Some(run) = base {
+                    stats.conflicts += run.solver.stats().conflicts;
+                    stats.propagations += run.solver.stats().propagations;
+                }
+            }
+            return Ok(BmcResult {
+                property: property.clone(),
+                outcome: BmcOutcome::Falsified(counterexample),
+                stats,
+            });
+        }
+
+        // ---- Inductive step: k = number of assumed prior instances.
+        if options.induction {
+            let run = match induction.as_mut() {
+                Some(run) => run,
+                None => {
+                    induction = Some(Run::new(netlist, InitialState::Free, 0)?);
+                    induction.as_mut().expect("just created")
+                }
+            };
+            let k = induction_assumed.len();
+            let step_frame = first + k;
+            run.ensure_frames(step_frame + 1);
+            // Loop-free path: the new state must differ from all earlier
+            // states (no-op for stateless netlists).
+            for earlier in 0..step_frame {
+                if let Some(diff) = run.unroller.state_difference(earlier, step_frame) {
+                    run.unroller.add_clause([diff]);
+                }
+            }
+            let ok = run.encode_instance(spec, &moe_vars, property, step_frame);
+            run.sync_solver();
+            stats.solve_calls += 1;
+            let result = run.solver.solve_under_assumptions(&[ok.negated()]);
+            stats.induction_clauses = run.solver.num_clauses();
+            if result == SatResult::Unsat {
+                stats.conflicts += run.solver.stats().conflicts;
+                stats.propagations += run.solver.stats().propagations;
+                if let Some(run) = base {
+                    stats.conflicts += run.solver.stats().conflicts;
+                    stats.propagations += run.solver.stats().propagations;
+                }
+                return Ok(BmcResult {
+                    property: property.clone(),
+                    outcome: BmcOutcome::Proved { induction_depth: k },
+                    stats,
+                });
+            }
+            // The step failed: assume this instance and deepen.
+            run.unroller.add_clause([ok]);
+            induction_assumed.push(ok);
+        }
+    }
+
+    if let Some(run) = base {
+        stats.conflicts += run.solver.stats().conflicts;
+        stats.propagations += run.solver.stats().propagations;
+    }
+    if let Some(run) = induction {
+        stats.conflicts += run.solver.stats().conflicts;
+        stats.propagations += run.solver.stats().propagations;
+    }
+    Ok(BmcResult {
+        property: property.clone(),
+        outcome: BmcOutcome::Unknown {
+            depth_checked: stats.depth_reached,
+        },
+        stats,
+    })
+}
+
+/// Report of a per-stage stall-escape (deadlock/livelock) check.
+#[derive(Clone, Debug)]
+pub struct StallEscapeReport {
+    /// The stage prefix.
+    pub stage: String,
+    /// `true` when **every** state (reachable or not) in which the stage is
+    /// stalled reaches a non-stalled state within `escape_cycles` quiet
+    /// cycles — i.e. a stall can always be released by the environment going
+    /// idle, so no deadlock or livelock is possible.
+    pub escapable: bool,
+    /// When not escapable: a register-state valuation from which the stage
+    /// stays stalled throughout the window (a *potential* deadlock — it may
+    /// or may not be reachable from reset).
+    pub stuck_state: Option<BTreeMap<String, bool>>,
+}
+
+/// Proves (or refutes) that every stall of every stage is escapable under a
+/// quiet environment.
+///
+/// The check unrolls `escape_cycles + 1` frames from a **free** initial
+/// state, forces all inputs low and asks the solver for a path on which the
+/// stage's `moe` stays low throughout. UNSAT means even the worst
+/// adversarial state un-stalls once the environment goes idle — which in
+/// particular proves there is *some* environment input escaping every stall
+/// state, the paper's no-deadlock obligation.
+///
+/// # Errors
+///
+/// As [`check_property`].
+pub fn check_stall_escape(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    escape_cycles: usize,
+) -> Result<Vec<StallEscapeReport>, BmcError> {
+    let missing = missing_moe_signals(spec, netlist);
+    if !missing.is_empty() {
+        return Err(BmcError::MissingSignals(missing));
+    }
+    let escape_cycles = escape_cycles.max(1);
+
+    // One shared unrolling and solver for every stage: the circuit and the
+    // quiet-environment constraints are identical across stages, so only the
+    // per-stage "stalled throughout" literals vary — exactly the use case of
+    // solving under assumptions (learned clauses carry over between stages).
+    let mut run = Run::new(netlist, InitialState::Free, 0)?;
+    run.ensure_frames(escape_cycles + 1);
+    for frame in 0..=escape_cycles {
+        for input in run.unroller.netlist().inputs() {
+            let lit = run.unroller.lit(frame, input);
+            run.unroller.add_clause([lit.negated()]);
+        }
+    }
+    run.sync_solver();
+
+    let mut reports = Vec::new();
+    for stage in spec.stages() {
+        let name = spec.pool().name_or_fallback(stage.moe);
+        let signal = run
+            .unroller
+            .netlist()
+            .find(&name)
+            .expect("missing signals checked above");
+        // Stalled (¬moe) at every frame of the window.
+        let stalled: Vec<Lit> = (0..=escape_cycles)
+            .map(|frame| run.unroller.lit(frame, signal).negated())
+            .collect();
+        let report = match run.solver.solve_under_assumptions(&stalled) {
+            SatResult::Unsat => StallEscapeReport {
+                stage: stage.stage.prefix(),
+                escapable: true,
+                stuck_state: None,
+            },
+            SatResult::Sat(model) => {
+                let lit_value = |lit: Lit| model[lit.var() as usize] == lit.is_positive();
+                let registers = run.unroller.netlist().registers();
+                let stuck = registers
+                    .into_iter()
+                    .map(|r| {
+                        (
+                            run.unroller.netlist().signal(r).name.clone(),
+                            lit_value(run.unroller.lit(0, r)),
+                        )
+                    })
+                    .collect();
+                StallEscapeReport {
+                    stage: stage.stage.prefix(),
+                    escapable: false,
+                    stuck_state: Some(stuck),
+                }
+            }
+        };
+        reports.push(report);
+    }
+    Ok(reports)
+}

@@ -86,11 +86,7 @@ impl ImplementationReport {
     pub fn functional_violations(&self) -> Vec<(&str, &Assignment)> {
         self.stages
             .iter()
-            .filter_map(|s| {
-                s.functional
-                    .counterexample()
-                    .map(|c| (s.stage.as_str(), c))
-            })
+            .filter_map(|s| s.functional.counterexample().map(|c| (s.stage.as_str(), c)))
             .collect()
     }
 
@@ -256,7 +252,10 @@ mod tests {
             .unwrap();
         let implementation = derived_map(&augmented);
         let report = check_moe_expressions(&spec, &implementation, Engine::Bdd);
-        assert!(report.holds_direction(SpecDirection::Functional), "{report:?}");
+        assert!(
+            report.holds_direction(SpecDirection::Functional),
+            "{report:?}"
+        );
         assert!(!report.holds_direction(SpecDirection::Performance));
         let violations = report.performance_violations();
         assert!(!violations.is_empty());
@@ -283,8 +282,8 @@ mod tests {
         let witness = violations[0].1;
         let req = spec.pool().lookup("long.req").unwrap();
         let gnt = spec.pool().lookup("long.gnt").unwrap();
-        assert_eq!(witness.get_or_false(req), true);
-        assert_eq!(witness.get_or_false(gnt), false);
+        assert!(witness.get_or_false(req));
+        assert!(!witness.get_or_false(gnt));
     }
 
     #[test]
@@ -337,7 +336,9 @@ mod tests {
 
     #[test]
     fn firepath_like_derived_implementation_holds() {
-        let spec = ipcl_core::ArchSpec::firepath_like().functional_spec().unwrap();
+        let spec = ipcl_core::ArchSpec::firepath_like()
+            .functional_spec()
+            .unwrap();
         let report = check_derived_implementation(&spec, Engine::Bdd);
         assert!(report.holds());
         assert_eq!(report.stages.len(), 24);

@@ -34,9 +34,20 @@ pub mod implementation;
 pub mod sequential;
 
 pub use engine::{CheckOutcome, Engine};
-pub use implementation::{check_derived_implementation, check_moe_expressions, check_netlist,
-    ImplementationReport, SpecDirection, StageVerdict};
-pub use sequential::{check_reset_values, random_falsification, ResetReport};
+pub use implementation::{
+    check_derived_implementation, check_moe_expressions, check_netlist, ImplementationReport,
+    SpecDirection, StageVerdict,
+};
+pub use sequential::{
+    check_netlist_sequential, check_netlist_sequential_with, check_reset_values,
+    random_falsification, DynamicViolation, ResetReport, SequentialOptions, SequentialReport,
+};
+// The BMC vocabulary types, so callers of the sequential checker need not
+// depend on `ipcl-bmc` directly.
+pub use ipcl_bmc::{
+    BmcError, BmcOptions, BmcOutcome, BmcResult, Counterexample, Latency, PropertyKind,
+    SequentialProperty, StallEscapeReport,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,4 +1,5 @@
-//! Sequential checks: reset values and bounded random falsification.
+//! Sequential checks: BMC/k-induction property checking, reset values and
+//! bounded random falsification.
 //!
 //! The paper's case study reports finding "incorrect initialisation values of
 //! control signals". [`check_reset_values`] detects exactly that class of
@@ -7,19 +8,32 @@
 //! may move*; any `moe` register that resets to a different value either
 //! stalls unnecessarily out of reset or (worse) reports a busy stage as free.
 //!
-//! [`random_falsification`] complements the combinational checks with a
-//! dynamic sweep: it drives an `ipcl-rtl` implementation with random
-//! environment vectors for a bounded number of cycles and evaluates the
-//! functional and performance assertions on every cycle — the same checks a
-//! simulation testbench performs, without needing `ipcl-pipesim`.
+//! [`check_netlist_sequential`] is the exhaustive sequential engine: it
+//! builds the functional/performance property portfolio for the netlist's
+//! latency class, proves or falsifies every property with `ipcl-bmc`
+//! (counterexamples replay deterministically through the simulator), proves
+//! every stall state escapable, and folds in the reset check. Properties are
+//! checked in parallel, one OS thread per property.
+//!
+//! [`random_falsification`] remains as a cheap dynamic pre-pass: it drives
+//! the implementation with random environment vectors and evaluates the
+//! assertions on every cycle. `check_netlist_sequential` runs it first and
+//! uses its (unsound but fast) verdicts to prioritise which properties to
+//! attack; its violations are reported alongside the exhaustive results.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
+use ipcl_bmc::{
+    check_property, check_stall_escape, BmcError, BmcOptions, BmcOutcome, BmcResult, Latency,
+    SequentialProperty, StallEscapeReport,
+};
 use ipcl_core::fixpoint::derive_concrete;
 use ipcl_core::FunctionalSpec;
 use ipcl_expr::Assignment;
 use ipcl_rtl::{Netlist, RtlError, SignalKind, Simulator};
+
+use crate::engine::Engine;
 
 /// Result of a reset-value check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,6 +156,208 @@ pub fn random_falsification(
     Ok(violations)
 }
 
+/// Options of [`check_netlist_sequential`].
+#[derive(Clone, Copy, Debug)]
+pub struct SequentialOptions {
+    /// BMC / k-induction knobs (depth bound, quiet cycles, incrementality).
+    pub bmc: BmcOptions,
+    /// Property latency. `None` auto-detects from the netlist
+    /// ([`Latency::Registered`] when the `moe` outputs are registers).
+    pub latency: Option<Latency>,
+    /// Cycles of the random-simulation pre-pass (0 disables it).
+    pub prepass_cycles: u64,
+    /// Check every property on its own OS thread.
+    pub parallel: bool,
+    /// Run the per-stage stall-escape (deadlock/livelock) proof.
+    pub deadlock: bool,
+    /// Window of the stall-escape check, in quiet cycles.
+    pub escape_cycles: usize,
+}
+
+impl Default for SequentialOptions {
+    fn default() -> Self {
+        SequentialOptions {
+            bmc: BmcOptions::default(),
+            latency: None,
+            prepass_cycles: 200,
+            parallel: true,
+            deadlock: true,
+            escape_cycles: 2,
+        }
+    }
+}
+
+impl From<Engine> for SequentialOptions {
+    /// Maps an [`Engine`] selection onto sequential options;
+    /// [`Engine::Bmc`]'s `k` becomes the depth bound, the other engines get
+    /// the default bound.
+    fn from(engine: Engine) -> Self {
+        let bmc = match engine {
+            Engine::Bmc { k } => BmcOptions::with_depth(k),
+            Engine::Bdd | Engine::Sat => BmcOptions::default(),
+        };
+        SequentialOptions {
+            bmc,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a full sequential verification run.
+#[derive(Clone, Debug)]
+pub struct SequentialReport {
+    /// The latency class the properties were checked at.
+    pub latency: Latency,
+    /// One BMC result per property, in portfolio order.
+    pub results: Vec<BmcResult>,
+    /// The static reset-value check.
+    pub reset: ResetReport,
+    /// Per-stage stall-escape proofs (empty when disabled).
+    pub stall_escape: Vec<StallEscapeReport>,
+    /// Violations found by the random pre-pass (unsound, informational).
+    pub prepass_violations: Vec<DynamicViolation>,
+}
+
+impl SequentialReport {
+    /// Whether the implementation is *proved* sequentially correct: every
+    /// property proved by k-induction, reset values right and every stall
+    /// escapable. (`Unknown` outcomes count as not proved.)
+    pub fn proved(&self) -> bool {
+        self.results.iter().all(|r| r.outcome.is_proved())
+            && self.reset.ok()
+            && self.stall_escape.iter().all(|s| s.escapable)
+    }
+
+    /// Whether any property was falsified (a definite bug with a trace).
+    pub fn falsified(&self) -> bool {
+        self.results.iter().any(|r| r.outcome.is_falsified())
+    }
+
+    /// The falsified properties with their counterexamples.
+    pub fn counterexamples(&self) -> Vec<&BmcResult> {
+        self.results
+            .iter()
+            .filter(|r| r.outcome.is_falsified())
+            .collect()
+    }
+}
+
+/// Exhaustive sequential verification of a netlist implementation against
+/// the specification: BMC falsification + k-induction proof per stage and
+/// direction, stall-escape proofs and the reset check, with the random sweep
+/// as a prioritising pre-pass. See the module docs.
+///
+/// Every returned counterexample has been replayed through
+/// [`ipcl_rtl::Simulator`] and reproduced its violation (this is asserted
+/// internally), so traces can be handed to an RTL debugger as-is.
+///
+/// # Errors
+///
+/// [`BmcError::MissingSignals`] when the netlist lacks `moe` outputs,
+/// [`BmcError::Rtl`] when it does not elaborate.
+pub fn check_netlist_sequential(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    engine: Engine,
+) -> Result<SequentialReport, BmcError> {
+    check_netlist_sequential_with(spec, netlist, &SequentialOptions::from(engine))
+}
+
+/// As [`check_netlist_sequential`], with explicit options.
+pub fn check_netlist_sequential_with(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    options: &SequentialOptions,
+) -> Result<SequentialReport, BmcError> {
+    let missing = ipcl_bmc::missing_moe_signals(spec, netlist);
+    if !missing.is_empty() {
+        return Err(BmcError::MissingSignals(missing));
+    }
+
+    let latency = options
+        .latency
+        .unwrap_or_else(|| Latency::detect(spec, netlist));
+
+    // Cheap dynamic pre-pass: unsound, but when it finds a violation the
+    // corresponding property is almost certainly falsifiable — check those
+    // first so (in sequential mode) counterexamples surface early. The
+    // random sweep evaluates assertions combinationally (moe and env in the
+    // same cycle), so at registered latency its verdicts would be
+    // systematically wrong (every correct registered implementation "fails"
+    // by one cycle of lag) — skip it there.
+    let prepass_violations = if options.prepass_cycles > 0 && latency == Latency::Combinational {
+        random_falsification(spec, netlist, options.prepass_cycles, 0x1b3c)
+            .map_err(BmcError::Rtl)?
+    } else {
+        Vec::new()
+    };
+    let flagged: Vec<(String, bool)> = prepass_violations
+        .iter()
+        .map(|v| (v.stage.clone(), v.functional))
+        .collect();
+
+    let mut properties = SequentialProperty::both_directions(spec, latency);
+    properties.sort_by_key(|p| {
+        let hit = flagged.iter().any(|(stage, functional)| {
+            *stage == p.stage && *functional == matches!(p.kind, ipcl_bmc::PropertyKind::Functional)
+        });
+        // Flagged properties first.
+        !hit
+    });
+
+    let results: Vec<BmcResult> = if options.parallel {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = properties
+                .iter()
+                .map(|property| {
+                    let bmc = options.bmc;
+                    scope.spawn(move || check_property(spec, netlist, property, &bmc))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("property checker thread panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })?
+    } else {
+        properties
+            .iter()
+            .map(|property| check_property(spec, netlist, property, &options.bmc))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    // Counterexamples must replay: a trace that does not reproduce through
+    // the simulator would mean the CNF encoding diverged from the netlist
+    // semantics, which is a checker bug, not a property verdict.
+    for result in &results {
+        if let BmcOutcome::Falsified(cex) = &result.outcome {
+            let replay = cex
+                .replay(spec, netlist, &result.property)
+                .map_err(BmcError::Rtl)?;
+            assert!(
+                replay.violation_reproduced,
+                "counterexample for {} failed to replay:\n{}",
+                result.property.name,
+                cex.render()
+            );
+        }
+    }
+
+    let stall_escape = if options.deadlock {
+        check_stall_escape(spec, netlist, options.escape_cycles)?
+    } else {
+        Vec::new()
+    };
+
+    Ok(SequentialReport {
+        latency,
+        results,
+        reset: check_reset_values(spec, netlist),
+        stall_escape,
+        prepass_violations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,8 +413,7 @@ mod tests {
     fn random_falsification_is_clean_for_combinational_synthesis() {
         let spec = ExampleArch::new().functional_spec();
         let synthesized = synthesize_interlock(&spec);
-        let violations =
-            random_falsification(&spec, synthesized.netlist(), 300, 0xF00D).unwrap();
+        let violations = random_falsification(&spec, synthesized.netlist(), 300, 0xF00D).unwrap();
         assert!(violations.is_empty(), "{violations:?}");
     }
 
@@ -213,11 +428,78 @@ mod tests {
                 ..Default::default()
             },
         );
-        let violations =
-            random_falsification(&spec, synthesized.netlist(), 50, 0xF00D).unwrap();
+        let violations = random_falsification(&spec, synthesized.netlist(), 50, 0xF00D).unwrap();
         // At cycle 0 every stage is stalled although (for most random
         // environments) no stall condition holds: performance violations.
         assert!(violations.iter().any(|v| v.cycle == 0 && !v.functional));
+    }
+
+    #[test]
+    fn sequential_check_proves_correct_implementations() {
+        let spec = ExampleArch::new().functional_spec();
+        // Combinational synthesis: proved at combinational latency.
+        let combinational = synthesize_interlock(&spec);
+        let report =
+            check_netlist_sequential(&spec, combinational.netlist(), crate::Engine::Bmc { k: 6 })
+                .unwrap();
+        assert_eq!(report.latency, Latency::Combinational);
+        assert!(report.proved(), "{:?}", report.results);
+        assert!(!report.falsified());
+        assert!(report.prepass_violations.is_empty());
+
+        // Registered synthesis with correct reset: proved at the
+        // auto-detected registered latency.
+        let registered = synthesize_interlock_with(
+            &spec,
+            SynthesisOptions {
+                registered_outputs: true,
+                reset_value: true,
+                ..Default::default()
+            },
+        );
+        let report =
+            check_netlist_sequential(&spec, registered.netlist(), crate::Engine::Bmc { k: 6 })
+                .unwrap();
+        assert_eq!(report.latency, Latency::Registered);
+        assert!(report.proved(), "{:?}", report.results);
+    }
+
+    #[test]
+    fn sequential_check_falsifies_wrong_reset_with_replayable_trace() {
+        let spec = ExampleArch::new().functional_spec();
+        let buggy = synthesize_interlock_with(
+            &spec,
+            SynthesisOptions {
+                registered_outputs: true,
+                reset_value: false,
+                ..Default::default()
+            },
+        );
+        // Force combinational latency: the wrong-reset stall must answer for
+        // the cycle it occurs in.
+        let options = SequentialOptions {
+            latency: Some(Latency::Combinational),
+            ..SequentialOptions::from(crate::Engine::Bmc { k: 4 })
+        };
+        let report = check_netlist_sequential_with(&spec, buggy.netlist(), &options).unwrap();
+        assert!(report.falsified());
+        assert!(!report.reset.ok());
+        // At least one stage produces the minimal one-cycle trace (stalled
+        // out of reset with a quiet environment).
+        assert!(report.counterexamples().iter().any(|r| r
+            .outcome
+            .counterexample()
+            .unwrap()
+            .length()
+            == 1));
+    }
+
+    #[test]
+    fn sequential_check_rejects_netlists_without_moe_outputs() {
+        let spec = ExampleArch::new().functional_spec();
+        let empty = Netlist::new("empty");
+        let err = check_netlist_sequential(&spec, &empty, crate::Engine::default()).unwrap_err();
+        assert!(matches!(err, BmcError::MissingSignals(ref names) if names.len() == 6));
     }
 
     #[test]
@@ -236,8 +518,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let violations =
-            random_falsification(&spec, synthesized.netlist(), 400, 0xBEEF).unwrap();
+        let violations = random_falsification(&spec, synthesized.netlist(), 400, 0xBEEF).unwrap();
         assert!(!violations.is_empty());
     }
 }

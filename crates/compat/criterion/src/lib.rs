@@ -1,0 +1,319 @@
+//! Offline stand-in for the `criterion` benchmark framework.
+//!
+//! crates.io is unreachable from the build environment, so this crate
+//! re-implements the slice of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`
+//! / `bench_with_input`, `BenchmarkId`, `black_box`) on top of a simple
+//! wall-clock harness: warm-up, then timed batches for the configured
+//! measurement window, reporting mean and minimum per-iteration times.
+//!
+//! It produces no HTML reports and does no statistical outlier analysis —
+//! the point is that `cargo bench` runs, produces stable comparable numbers,
+//! and the bench sources stay source-compatible with real criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id distinguished by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Measurement settings shared by a group's benchmarks.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Accepted for source compatibility; command-line configuration is not
+    /// supported by the stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            settings,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().render(), self.settings, |b| routine(b));
+        self
+    }
+}
+
+/// A group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (used to size timed batches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_benchmark(&label, self.settings, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(&label, self.settings, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    settings: Settings,
+    total: Duration,
+    iterations: u64,
+    fastest_batch: Duration,
+    batch_size: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it for the configured measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: establish a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Size batches so that `sample_size` batches fill the window.
+        let window = self.settings.measurement_time;
+        let target_batch = window / self.settings.sample_size.max(1) as u32;
+        let batch_size = if per_iter.is_zero() {
+            1_000
+        } else {
+            (target_batch.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        self.batch_size = batch_size;
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < window {
+            let batch_start = Instant::now();
+            for _ in 0..batch_size {
+                black_box(routine());
+            }
+            let elapsed = batch_start.elapsed();
+            self.total += elapsed;
+            self.iterations += batch_size;
+            if elapsed < self.fastest_batch {
+                self.fastest_batch = elapsed;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut routine: F) {
+    let mut bencher = Bencher {
+        settings,
+        total: Duration::ZERO,
+        iterations: 0,
+        fastest_batch: Duration::MAX,
+        batch_size: 1,
+    };
+    routine(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("  {label:<48} (no measurement: b.iter was never called)");
+        return;
+    }
+    let mean = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
+    let best = if bencher.fastest_batch == Duration::MAX {
+        mean
+    } else {
+        bencher.fastest_batch.as_nanos() as f64 / bencher.batch_size as f64
+    };
+    println!(
+        "  {label:<48} mean {:>12}  min {:>12}  ({} iters)",
+        format_nanos(mean),
+        format_nanos(best),
+        bencher.iterations
+    );
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares a `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", "p").render(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter("p").render(), "p");
+        assert_eq!(BenchmarkId::from("name").render(), "name");
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations on data types (no serializer backend such as `serde_json` is
+//! in the dependency tree). Since crates.io is unreachable from the build
+//! environment, this crate supplies the marker traits and no-op derive
+//! macros so those annotations compile; when a real serializer becomes
+//! available, swapping the workspace dependency back to upstream serde is a
+//! one-line change in the root `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods: there is no
+/// serializer backend in this offline build).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods: there is no
+/// deserializer backend in this offline build).
+pub trait Deserialize<'de> {}

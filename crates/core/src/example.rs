@@ -83,7 +83,8 @@ impl ExampleArch {
     pub fn functional_spec(&self) -> FunctionalSpec {
         let mut b = FunctionalSpecBuilder::new();
         for stage in Self::stage_order() {
-            b.declare_stage(stage).expect("stage order has no duplicates");
+            b.declare_stage(stage)
+                .expect("stage order has no duplicates");
         }
 
         let long4 = StageRef::new("long", 4);
@@ -241,7 +242,10 @@ mod tests {
         // Environment: req/gnt ×2, rtm ×4 (long.1..3, short.1), wait,
         // operand_outstanding ×2 = 11.
         assert_eq!(spec.env_vars().len(), 11);
-        assert!(spec.has_cyclic_dependencies(), "lock-step couples the issue stages");
+        assert!(
+            spec.has_cyclic_dependencies(),
+            "lock-step couples the issue stages"
+        );
     }
 
     #[test]

@@ -129,9 +129,9 @@ pub fn derive_symbolic(spec: &FunctionalSpec) -> Derivation {
         let mut next: BTreeMap<VarId, Expr> = BTreeMap::new();
         for stage in spec.stages() {
             // F_i with every moe_j replaced by ¬stalled_j^{k}.
-            let substituted = stage.condition().substitute(&|v| {
-                stalled.get(&v).map(|s| Expr::not(s.clone()))
-            });
+            let substituted = stage
+                .condition()
+                .substitute(&|v| stalled.get(&v).map(|s| Expr::not(s.clone())));
             next.insert(stage.moe, simplify(&substituted));
         }
         if next == stalled {
@@ -161,7 +161,10 @@ pub fn derive_symbolic(spec: &FunctionalSpec) -> Derivation {
 pub fn is_most_liberal(spec: &FunctionalSpec, env: &Assignment, candidate: &Assignment) -> bool {
     let moe_vars = spec.moe_vars();
     let functional = spec.functional_expr();
-    assert!(moe_vars.len() <= 20, "exhaustive maximality check is exponential");
+    assert!(
+        moe_vars.len() <= 20,
+        "exhaustive maximality check is exponential"
+    );
     // The candidate itself must satisfy the functional specification.
     let eval_with_moe = |moe_values: &dyn Fn(VarId) -> bool| {
         functional.eval_with(|v| {
@@ -209,7 +212,8 @@ mod tests {
             b.declare_stage(StageRef::new("p", s)).unwrap();
         }
         let last = StageRef::new("p", depth);
-        b.stall_rule_text(&last, "no-grant", "p.req & !p.gnt").unwrap();
+        b.stall_rule_text(&last, "no-grant", "p.req & !p.gnt")
+            .unwrap();
         for s in (1..depth).rev() {
             let stage = StageRef::new("p", s);
             let rtm = b.env(&stage.rtm());
@@ -294,9 +298,12 @@ mod tests {
         let spec = chain_spec(4);
         let derivation = derive_symbolic(&spec);
         let moe_vars = spec.moe_vars();
-        for (_, expr) in &derivation.moe {
+        for expr in derivation.moe.values() {
             for v in expr.vars() {
-                assert!(!moe_vars.contains(&v), "closed form still mentions a moe flag");
+                assert!(
+                    !moe_vars.contains(&v),
+                    "closed form still mentions a moe flag"
+                );
             }
         }
         assert!(!derivation.had_cycles);
@@ -311,8 +318,7 @@ mod tests {
         let derivation = derive_symbolic(&spec);
         let moe1 = spec.moe_var(&StageRef::new("p", 1)).unwrap();
         let mut pool = spec.pool().clone();
-        let expected =
-            ipcl_expr::parse_expr("!(p.1.rtm & p.req & !p.gnt)", &mut pool).unwrap();
+        let expected = ipcl_expr::parse_expr("!(p.1.rtm & p.req & !p.gnt)", &mut pool).unwrap();
         assert!(semantically_equal(
             derivation.moe_expr(moe1).unwrap(),
             &expected
@@ -364,7 +370,7 @@ mod tests {
     #[test]
     fn evaluate_matches_direct_concrete_derivation_on_example() {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let arch = ExampleArch::new();
         let spec = arch.functional_spec();
         let derivation = derive_symbolic(&spec);

@@ -17,7 +17,7 @@
 //! small specifications and by randomised sampling for large ones.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use ipcl_expr::{polarity_map, Polarity, VarId};
 
@@ -82,26 +82,23 @@ pub fn check_preconditions_with(
     // P1: substituting moe := false turns every implication's consequent into
     // true, so the functional spec must collapse to the constant true.
     let functional = spec.functional_expr();
-    let all_stalled = functional.substitute(&|v| {
-        moe_vars.contains(&v).then_some(ipcl_expr::Expr::FALSE)
-    });
-    let p1_all_stalled_satisfies = ipcl_expr::simplify::simplify(&all_stalled).is_true()
-        || {
-            // Fall back to sampling if simplification alone cannot decide it.
-            let env_vars: Vec<VarId> = spec.env_vars().into_iter().collect();
-            let mut rng = StdRng::seed_from_u64(seed);
-            (0..samples.max(1)).all(|_| {
-                let values: Vec<bool> =
-                    env_vars.iter().map(|_| rng.random_bool(0.5)).collect();
-                all_stalled.eval_with(|v| {
-                    env_vars
-                        .iter()
-                        .position(|&x| x == v)
-                        .map(|i| values[i])
-                        .unwrap_or(false)
-                })
+    let all_stalled =
+        functional.substitute(&|v| moe_vars.contains(&v).then_some(ipcl_expr::Expr::FALSE));
+    let p1_all_stalled_satisfies = ipcl_expr::simplify::simplify(&all_stalled).is_true() || {
+        // Fall back to sampling if simplification alone cannot decide it.
+        let env_vars: Vec<VarId> = spec.env_vars().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..samples.max(1)).all(|_| {
+            let values: Vec<bool> = env_vars.iter().map(|_| rng.random_bool(0.5)).collect();
+            all_stalled.eval_with(|v| {
+                env_vars
+                    .iter()
+                    .position(|&x| x == v)
+                    .map(|i| values[i])
+                    .unwrap_or(false)
             })
-        };
+        })
+    };
 
     // P2: for sampled environments and sampled satisfying moe vectors, the
     // bitwise disjunction also satisfies the spec.

@@ -63,11 +63,15 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::UnknownStage(s) => write!(f, "stall rule for undeclared stage '{s}'"),
-            SpecError::SelfReference(s) =>
-
-                write!(f, "stall condition of stage '{s}' references its own moe flag"),
+            SpecError::SelfReference(s) => write!(
+                f,
+                "stall condition of stage '{s}' references its own moe flag"
+            ),
             SpecError::UndeclaredMoe(v) => {
-                write!(f, "condition references moe flag '{v}' of an undeclared stage")
+                write!(
+                    f,
+                    "condition references moe flag '{v}' of an undeclared stage"
+                )
             }
             SpecError::Parse(e) => write!(f, "condition text: {e}"),
             SpecError::DuplicateStage(s) => write!(f, "stage '{s}' declared twice"),
@@ -490,7 +494,8 @@ mod tests {
         let s1 = StageRef::new("p", 1);
         b.declare_stage(s2.clone()).unwrap();
         b.declare_stage(s1.clone()).unwrap();
-        b.stall_rule_text(&s2, "no-grant", "p.req & !p.gnt").unwrap();
+        b.stall_rule_text(&s2, "no-grant", "p.req & !p.gnt")
+            .unwrap();
         let rtm = b.env("p.1.rtm");
         let blocked = b.stalled(&s2);
         b.stall_rule(&s1, "downstream", Expr::and([rtm, blocked]))

@@ -143,7 +143,12 @@ impl fmt::Display for DisplayAssignment<'_> {
                 write!(f, ", ")?;
             }
             first = false;
-            write!(f, "{}={}", self.pool.name_or_fallback(v), if b { 1 } else { 0 })?;
+            write!(
+                f,
+                "{}={}",
+                self.pool.name_or_fallback(v),
+                if b { 1 } else { 0 }
+            )?;
         }
         write!(f, "}}")
     }
@@ -161,7 +166,7 @@ mod tests {
         assert_eq!(env.set(VarId(1), false), Some(true));
         assert_eq!(env.get(VarId(1)), Some(false));
         assert_eq!(env.get(VarId(2)), None);
-        assert!(env.get_or_false(VarId(2)) == false);
+        assert!(!env.get_or_false(VarId(2)));
         assert!(env.contains(VarId(1)));
         assert_eq!(env.len(), 1);
         assert_eq!(env.unset(VarId(1)), Some(false));

@@ -64,6 +64,10 @@ impl Expr {
     }
 
     /// Negation with double-negation and constant elimination.
+    ///
+    /// (Deliberately an associated constructor like [`Expr::and`]/[`Expr::or`],
+    /// not the `std::ops::Not` trait: it consumes by value and simplifies.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         match e {
             Expr::Const(b) => Expr::Const(!b),
@@ -463,16 +467,16 @@ mod tests {
         );
         assert_eq!(Expr::iff(Expr::TRUE, Expr::var(a)), Expr::var(a));
         assert_eq!(Expr::xor(Expr::FALSE, Expr::var(a)), Expr::var(a));
-        assert_eq!(Expr::ite(Expr::TRUE, Expr::var(a), Expr::FALSE), Expr::var(a));
+        assert_eq!(
+            Expr::ite(Expr::TRUE, Expr::var(a), Expr::FALSE),
+            Expr::var(a)
+        );
     }
 
     #[test]
     fn nary_flattening() {
         let (_, a, b, c) = abc();
-        let e = Expr::and([
-            Expr::and([Expr::var(a), Expr::var(b)]),
-            Expr::var(c),
-        ]);
+        let e = Expr::and([Expr::and([Expr::var(a), Expr::var(b)]), Expr::var(c)]);
         assert_eq!(e, Expr::And(vec![Expr::var(a), Expr::var(b), Expr::var(c)]));
         let e = Expr::or([Expr::or([Expr::var(a), Expr::var(b)]), Expr::var(c)]);
         assert_eq!(e, Expr::Or(vec![Expr::var(a), Expr::var(b), Expr::var(c)]));
@@ -486,7 +490,10 @@ mod tests {
         env.set(b, false);
         assert_eq!(Expr::var(a).eval(&env), Ok(true));
         assert_eq!(Expr::not(Expr::var(a)).eval(&env), Ok(false));
-        assert_eq!(Expr::and([Expr::var(a), Expr::var(b)]).eval(&env), Ok(false));
+        assert_eq!(
+            Expr::and([Expr::var(a), Expr::var(b)]).eval(&env),
+            Ok(false)
+        );
         assert_eq!(Expr::or([Expr::var(a), Expr::var(b)]).eval(&env), Ok(true));
         assert_eq!(
             Expr::implies(Expr::var(a), Expr::var(b)).eval(&env),
@@ -531,7 +538,11 @@ mod tests {
     #[test]
     fn vars_and_metrics() {
         let (_, a, b, c) = abc();
-        let e = Expr::ite(Expr::var(a), Expr::var(b), Expr::xor(Expr::var(c), Expr::var(a)));
+        let e = Expr::ite(
+            Expr::var(a),
+            Expr::var(b),
+            Expr::xor(Expr::var(c), Expr::var(a)),
+        );
         let vars = e.vars();
         assert_eq!(vars.len(), 3);
         assert!(e.node_count() >= 5);

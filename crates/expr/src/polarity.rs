@@ -241,7 +241,10 @@ mod tests {
     fn syntactic_monotone_implies_semantic_on_samples() {
         // a & (b | !c) : monotone in a and b syntactically and semantically.
         let (_, a, b, c) = vars3();
-        let e = Expr::and([Expr::var(a), Expr::or([Expr::var(b), Expr::not(Expr::var(c))])]);
+        let e = Expr::and([
+            Expr::var(a),
+            Expr::or([Expr::var(b), Expr::not(Expr::var(c))]),
+        ]);
         assert!(is_syntactically_monotone(&e, &[a, b]));
         assert!(is_semantically_monotone(&e, &[a, b]));
         // Semantic check can accept cases the syntactic check rejects:

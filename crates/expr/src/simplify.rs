@@ -6,9 +6,20 @@
 //! of duplicate operands. It is deliberately *not* a canonicaliser — use
 //! `ipcl-bdd` when a canonical form is needed.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use crate::expr::Expr;
+
+/// Memoisation table keyed on the addresses of `Arc`-shared subterms.
+///
+/// Expressions extracted from netlists (`ipcl-rtl`) share their fan-in cones
+/// through `Arc`s, so the same subterm can be reachable exponentially many
+/// times through distinct paths. Simplifying each shared node once is the
+/// difference between milliseconds and the lifetime of the universe on deep
+/// shared structures. Keys stay valid for the table's lifetime because the
+/// root expression (held by the caller) keeps every shared child alive.
+type SimplifyCache = HashMap<*const Expr, Expr>;
 
 /// Simplifies `expr` without changing its meaning.
 ///
@@ -23,14 +34,30 @@ use crate::expr::Expr;
 /// assert_eq!(simplify(&e), a);
 /// ```
 pub fn simplify(expr: &Expr) -> Expr {
+    let mut cache = SimplifyCache::new();
+    simplify_rec(expr, &mut cache)
+}
+
+/// Simplifies an `Arc`-shared child through the memoisation table.
+fn simplify_arc(arc: &Arc<Expr>, cache: &mut SimplifyCache) -> Expr {
+    let key = Arc::as_ptr(arc);
+    if let Some(hit) = cache.get(&key) {
+        return hit.clone();
+    }
+    let result = simplify_rec(arc, cache);
+    cache.insert(key, result.clone());
+    result
+}
+
+fn simplify_rec(expr: &Expr, cache: &mut SimplifyCache) -> Expr {
     match expr {
         Expr::Const(_) | Expr::Var(_) => expr.clone(),
-        Expr::Not(e) => Expr::not(simplify(e)),
-        Expr::And(ops) => simplify_nary(ops, true),
-        Expr::Or(ops) => simplify_nary(ops, false),
-        Expr::Implies(l, r) => Expr::implies(simplify(l), simplify(r)),
+        Expr::Not(e) => Expr::not(simplify_arc(e, cache)),
+        Expr::And(ops) => simplify_nary(ops, true, cache),
+        Expr::Or(ops) => simplify_nary(ops, false, cache),
+        Expr::Implies(l, r) => Expr::implies(simplify_arc(l, cache), simplify_arc(r, cache)),
         Expr::Iff(l, r) => {
-            let (l, r) = (simplify(l), simplify(r));
+            let (l, r) = (simplify_arc(l, cache), simplify_arc(r, cache));
             if l == r {
                 Expr::TRUE
             } else if l == Expr::not(r.clone()) {
@@ -40,7 +67,7 @@ pub fn simplify(expr: &Expr) -> Expr {
             }
         }
         Expr::Xor(l, r) => {
-            let (l, r) = (simplify(l), simplify(r));
+            let (l, r) = (simplify_arc(l, cache), simplify_arc(r, cache));
             if l == r {
                 Expr::FALSE
             } else if l == Expr::not(r.clone()) {
@@ -50,7 +77,11 @@ pub fn simplify(expr: &Expr) -> Expr {
             }
         }
         Expr::Ite(c, t, e) => {
-            let (c, t, e) = (simplify(c), simplify(t), simplify(e));
+            let (c, t, e) = (
+                simplify_arc(c, cache),
+                simplify_arc(t, cache),
+                simplify_arc(e, cache),
+            );
             if t == e {
                 t
             } else {
@@ -61,8 +92,8 @@ pub fn simplify(expr: &Expr) -> Expr {
 }
 
 /// Simplifies an n-ary conjunction (`conjunction == true`) or disjunction.
-fn simplify_nary(ops: &[Expr], conjunction: bool) -> Expr {
-    let simplified: Vec<Expr> = ops.iter().map(simplify).collect();
+fn simplify_nary(ops: &[Expr], conjunction: bool, cache: &mut SimplifyCache) -> Expr {
+    let simplified: Vec<Expr> = ops.iter().map(|op| simplify_rec(op, cache)).collect();
     // Flatten through the smart constructor first (it also folds constants).
     let flattened = if conjunction {
         Expr::and(simplified)
@@ -88,7 +119,7 @@ fn simplify_nary(ops: &[Expr], conjunction: bool) -> Expr {
     // Complement detection: x and !x in one level collapse the whole node.
     for child in &unique {
         let negated = Expr::not(child.clone());
-        if unique.iter().any(|other| *other == negated) {
+        if unique.contains(&negated) {
             return Expr::Const(!conjunction);
         }
     }
@@ -160,8 +191,14 @@ mod tests {
     #[test]
     fn iff_and_xor_special_cases() {
         let (_, a, _, _) = vars();
-        assert_eq!(simplify(&Expr::Iff(a.clone().into(), a.clone().into())), Expr::TRUE);
-        assert_eq!(simplify(&Expr::Xor(a.clone().into(), a.clone().into())), Expr::FALSE);
+        assert_eq!(
+            simplify(&Expr::Iff(a.clone().into(), a.clone().into())),
+            Expr::TRUE
+        );
+        assert_eq!(
+            simplify(&Expr::Xor(a.clone().into(), a.clone().into())),
+            Expr::FALSE
+        );
         assert_eq!(
             simplify(&Expr::Iff(a.clone().into(), Expr::not(a.clone()).into())),
             Expr::FALSE
@@ -182,7 +219,7 @@ mod tests {
     #[test]
     fn simplify_preserves_semantics_on_random_formulas() {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
 
         fn random_expr(rng: &mut StdRng, depth: usize, nvars: u32) -> Expr {
             if depth == 0 || rng.random_range(0..5) == 0 {

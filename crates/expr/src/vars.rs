@@ -154,8 +154,7 @@ mod tests {
         let mut pool = VarPool::new();
         pool.var("a");
         pool.var("b");
-        let collected: Vec<(VarId, String)> =
-            pool.iter().map(|(i, n)| (i, n.to_owned())).collect();
+        let collected: Vec<(VarId, String)> = pool.iter().map(|(i, n)| (i, n.to_owned())).collect();
         assert_eq!(
             collected,
             vec![(VarId(0), "a".to_owned()), (VarId(1), "b".to_owned())]

@@ -129,8 +129,10 @@ impl Machine {
                     vars.rtm
                         .insert(stage_ref.prefix(), pool.var(&stage_ref.rtm()));
                     if pipe.shunt_stages.contains(&stage) {
-                        vars.shunt_full
-                            .insert(stage_ref.prefix(), pool.var(&SignalNames::shunt_full(&stage_ref)));
+                        vars.shunt_full.insert(
+                            stage_ref.prefix(),
+                            pool.var(&SignalNames::shunt_full(&stage_ref)),
+                        );
                     }
                 }
             }
@@ -336,7 +338,10 @@ impl Machine {
                 env.set(var, requesting);
             }
             if let Some(&var) = self.vars.gnt.get(&pipe.name) {
-                env.set(var, requesting && granted.get(&pipe.name).copied().unwrap_or(false));
+                env.set(
+                    var,
+                    requesting && granted.get(&pipe.name).copied().unwrap_or(false),
+                );
             }
         }
 
@@ -345,13 +350,10 @@ impl Machine {
         for pipe in &self.pipes {
             let outstanding = if pipe.checks_scoreboard {
                 match &pipe.stages[0] {
-                    Some(op) => [op.src, op.dest]
-                        .into_iter()
-                        .flatten()
-                        .any(|reg| {
-                            self.scoreboard.get(reg as usize).copied().unwrap_or(false)
-                                && !granted_regs.contains(&reg)
-                        }),
+                    Some(op) => [op.src, op.dest].into_iter().flatten().any(|reg| {
+                        self.scoreboard.get(reg as usize).copied().unwrap_or(false)
+                            && !granted_regs.contains(&reg)
+                    }),
                     None => false,
                 }
             } else {
@@ -366,11 +368,7 @@ impl Machine {
         // pipe with remaining cycles.
         let waiting = self.wait_remaining > 0
             && self.pipes.iter().any(|p| {
-                p.observes_wait
-                    && p.stages[0]
-                        .as_ref()
-                        .map(|op| op.is_wait())
-                        .unwrap_or(false)
+                p.observes_wait && p.stages[0].as_ref().map(|op| op.is_wait()).unwrap_or(false)
             });
         env.set(self.vars.wait.expect("wait var interned"), waiting);
 
@@ -392,9 +390,9 @@ impl Machine {
                 .or_insert(0) += 1;
             // Attribute the stall to every rule whose condition holds.
             for rule in &stage.rules {
-                let holds = rule.condition.eval_with(|v| {
-                    moe.get(v).or(env.get(v)).unwrap_or(false)
-                });
+                let holds = rule
+                    .condition
+                    .eval_with(|v| moe.get(v).or(env.get(v)).unwrap_or(false));
                 if holds {
                     *self
                         .stats
@@ -564,7 +562,9 @@ mod tests {
     use ipcl_core::ArchSpec;
 
     fn example_program(packets: usize, seed: u64) -> Program {
-        WorkloadConfig::default().with_packets(packets).generate(seed)
+        WorkloadConfig::default()
+            .with_packets(packets)
+            .generate(seed)
     }
 
     #[test]
@@ -652,7 +652,10 @@ mod tests {
         )
         .unwrap();
         let cons_stats = conservative.run_program(&program, 100_000);
-        assert!(max_stats.cycles < cons_stats.cycles, "{max_stats}\n{cons_stats}");
+        assert!(
+            max_stats.cycles < cons_stats.cycles,
+            "{max_stats}\n{cons_stats}"
+        );
         assert!(max_stats.ipc() > cons_stats.ipc());
     }
 
@@ -667,11 +670,14 @@ mod tests {
         let stats = machine.run_program(&program, 1_000);
         assert!(stats.wait_cycles >= 4, "{stats}");
         assert_eq!(stats.hazards.total(), 0);
-        assert!(stats
-            .stalls_by_cause
-            .get("wait-state")
-            .copied()
-            .unwrap_or(0) > 0);
+        assert!(
+            stats
+                .stalls_by_cause
+                .get("wait-state")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]
@@ -696,7 +702,7 @@ mod tests {
         let stats = machine.run_program_with_observer(&program, 10_000, |env, moe| {
             observed += 1;
             assert!(moe.len() == 6);
-            assert!(env.len() > 0);
+            assert!(!env.is_empty());
         });
         assert_eq!(observed, stats.cycles);
     }

@@ -157,8 +157,7 @@ impl InterlockPolicy for ConservativeInterlock {
                     for stage in inputs.spec.stages() {
                         let next = stage.stage.next();
                         if let Some(next_moe) = inputs.spec.moe_var(&next) {
-                            if moe.get(next_moe) == Some(false)
-                                && moe.get(stage.moe) == Some(true)
+                            if moe.get(next_moe) == Some(false) && moe.get(stage.moe) == Some(true)
                             {
                                 moe.set(stage.moe, false);
                                 changed = true;
@@ -295,7 +294,11 @@ mod tests {
             any_scoreboard_bit: true,
             ..Default::default()
         };
-        let inputs = PolicyInputs { spec: &spec, env: &env, view };
+        let inputs = PolicyInputs {
+            spec: &spec,
+            env: &env,
+            view,
+        };
         let maximal = MaximalInterlock.moe_flags(&inputs);
         let conservative =
             ConservativeInterlock::new(ConservativeVariant::StallIssueOnAnyScoreboardHit)
@@ -347,12 +350,15 @@ mod tests {
             view: MachineView::default(),
         };
         let maximal = MaximalInterlock.moe_flags(&inputs);
-        let conservative =
-            ConservativeInterlock::new(ConservativeVariant::IgnoreRtmQualification)
-                .moe_flags(&inputs);
+        let conservative = ConservativeInterlock::new(ConservativeVariant::IgnoreRtmQualification)
+            .moe_flags(&inputs);
         let long3 = spec.moe_var(&StageRef::new("long", 3)).unwrap();
         assert_eq!(maximal.get(long3), Some(true), "bubble must not stall");
-        assert_eq!(conservative.get(long3), Some(false), "variant stalls through bubbles");
+        assert_eq!(
+            conservative.get(long3),
+            Some(false),
+            "variant stalls through bubbles"
+        );
         // Conservative variants never *clear* a necessary stall.
         for (var, value) in conservative.iter() {
             if !maximal.get(var).unwrap_or(true) {
@@ -372,8 +378,16 @@ mod tests {
         let maximal = MaximalInterlock.moe_flags(&inputs);
         let broken = BrokenInterlock::new(BrokenVariant::IgnoreScoreboard).moe_flags(&inputs);
         let long1 = spec.moe_var(&StageRef::new("long", 1)).unwrap();
-        assert_eq!(maximal.get(long1), Some(false), "operand outstanding must stall");
-        assert_eq!(broken.get(long1), Some(true), "broken policy misses the stall");
+        assert_eq!(
+            maximal.get(long1),
+            Some(false),
+            "operand outstanding must stall"
+        );
+        assert_eq!(
+            broken.get(long1),
+            Some(true),
+            "broken policy misses the stall"
+        );
     }
 
     #[test]
@@ -386,8 +400,7 @@ mod tests {
             env: &env,
             view: MachineView::default(),
         };
-        let broken =
-            BrokenInterlock::new(BrokenVariant::IgnoreCompletionGrant).moe_flags(&inputs);
+        let broken = BrokenInterlock::new(BrokenVariant::IgnoreCompletionGrant).moe_flags(&inputs);
         let long4 = spec.moe_var(&StageRef::new("long", 4)).unwrap();
         assert_eq!(broken.get(long4), Some(true));
     }
@@ -400,12 +413,18 @@ mod tests {
         let early = PolicyInputs {
             spec: &spec,
             env: &env,
-            view: MachineView { cycle: 0, ..Default::default() },
+            view: MachineView {
+                cycle: 0,
+                ..Default::default()
+            },
         };
         let late = PolicyInputs {
             spec: &spec,
             env: &env,
-            view: MachineView { cycle: 5, ..Default::default() },
+            view: MachineView {
+                cycle: 5,
+                ..Default::default()
+            },
         };
         let long1 = spec.moe_var(&StageRef::new("long", 1)).unwrap();
         assert_eq!(policy.moe_flags(&early).get(long1), Some(true));

@@ -107,7 +107,10 @@ impl fmt::Display for SimStats {
         )?;
         for (stage, count) in &self.stall_cycles_per_stage {
             let unnecessary = self.unnecessary_by_stage.get(stage).copied().unwrap_or(0);
-            writeln!(f, "  stage {stage}: {count} stall cycles ({unnecessary} unnecessary)")?;
+            writeln!(
+                f,
+                "  stage {stage}: {count} stall cycles ({unnecessary} unnecessary)"
+            )?;
         }
         for (cause, count) in &self.stalls_by_cause {
             writeln!(f, "  cause {cause}: {count}")?;

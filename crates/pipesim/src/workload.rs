@@ -1,7 +1,7 @@
 //! Instructions, LIW packets, programs and random workload generation.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One operation bound for a specific pipe of the architecture.
@@ -243,7 +243,10 @@ mod tests {
 
     #[test]
     fn packet_lookup() {
-        let packet = Packet::new([Op::new("long", Some(1), None), Op::new("short", None, Some(2))]);
+        let packet = Packet::new([
+            Op::new("long", Some(1), None),
+            Op::new("short", None, Some(2)),
+        ]);
         assert_eq!(packet.len(), 2);
         assert!(!packet.is_empty());
         assert!(packet.op_for("long").is_some());
@@ -332,6 +335,9 @@ mod tests {
                 }
             }
         }
-        assert!(dependent > 100, "expected many dependent ops, got {dependent}");
+        assert!(
+            dependent > 100,
+            "expected many dependent ops, got {dependent}"
+        );
     }
 }

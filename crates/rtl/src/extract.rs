@@ -41,9 +41,9 @@ impl Netlist {
     /// outputs, or `None` if `register` is not a register or is unconnected.
     pub fn register_next_expr(&self, register: SignalId, pool: &mut VarPool) -> Option<Expr> {
         match self.signal(register).kind {
-            SignalKind::Register { next: Some(next), .. } => {
-                Some(self.signal_expr(next, pool))
-            }
+            SignalKind::Register {
+                next: Some(next), ..
+            } => Some(self.signal_expr(next, pool)),
             _ => None,
         }
     }
@@ -168,8 +168,7 @@ mod tests {
         n.mark_output(both);
         let mut pool = VarPool::new();
         let extracted = n.signal_expr(both, &mut pool);
-        let expected =
-            parse_expr("a & (a ^ b) & (if a then b else c)", &mut pool).unwrap();
+        let expected = parse_expr("a & (a ^ b) & (if a then b else c)", &mut pool).unwrap();
         assert!(semantically_equal(&extracted, &expected));
     }
 

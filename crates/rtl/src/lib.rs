@@ -37,11 +37,13 @@ pub mod extract;
 pub mod netlist;
 pub mod sim;
 pub mod trace;
+pub mod unroll;
 pub mod verilog;
 
 pub use netlist::{Gate, Netlist, RtlError, Signal, SignalId, SignalKind};
 pub use sim::Simulator;
 pub use trace::Trace;
+pub use unroll::{InitialState, Unroller};
 
 #[cfg(test)]
 mod tests {

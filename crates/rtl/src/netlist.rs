@@ -224,7 +224,11 @@ impl Netlist {
     }
 
     /// N-ary AND gate.
-    pub fn and_gate<I: IntoIterator<Item = SignalId>>(&mut self, name: &str, inputs: I) -> SignalId {
+    pub fn and_gate<I: IntoIterator<Item = SignalId>>(
+        &mut self,
+        name: &str,
+        inputs: I,
+    ) -> SignalId {
         self.wire(name, Gate::And(inputs.into_iter().collect()))
     }
 
@@ -239,7 +243,13 @@ impl Netlist {
     }
 
     /// Multiplexer gate.
-    pub fn mux_gate(&mut self, name: &str, sel: SignalId, high: SignalId, low: SignalId) -> SignalId {
+    pub fn mux_gate(
+        &mut self,
+        name: &str,
+        sel: SignalId,
+        high: SignalId,
+        low: SignalId,
+    ) -> SignalId {
         self.wire(name, Gate::Mux { sel, high, low })
     }
 
@@ -356,9 +366,7 @@ impl Netlist {
             // Some wire was never released: it is on a cycle.
             let stuck = self
                 .iter()
-                .find(|(id, s)| {
-                    matches!(s.kind, SignalKind::Wire(_)) && !order.contains(id)
-                })
+                .find(|(id, s)| matches!(s.kind, SignalKind::Wire(_)) && !order.contains(id))
                 .map(|(_, s)| s.name.clone())
                 .unwrap_or_default();
             return Err(RtlError::CombinationalCycle(stuck));
@@ -478,21 +486,30 @@ mod tests {
         assert_eq!(Gate::Or(vec![a, b]).inputs(), vec![a, b]);
         assert_eq!(Gate::Xor(a, b).inputs(), vec![a, b]);
         assert_eq!(
-            Gate::Mux { sel: a, high: b, low: c }.inputs(),
+            Gate::Mux {
+                sel: a,
+                high: b,
+                low: c
+            }
+            .inputs(),
             vec![a, b, c]
         );
     }
 
     #[test]
     fn error_display() {
-        assert!(RtlError::DuplicateName("x".into()).to_string().contains("x"));
+        assert!(RtlError::DuplicateName("x".into())
+            .to_string()
+            .contains("x"));
         assert!(RtlError::UnconnectedRegister("r".into())
             .to_string()
             .contains("r"));
         assert!(RtlError::CombinationalCycle("w".into())
             .to_string()
             .contains("w"));
-        assert!(RtlError::UnknownSignal(SignalId(5)).to_string().contains("s5"));
+        assert!(RtlError::UnknownSignal(SignalId(5))
+            .to_string()
+            .contains("s5"));
         assert!(RtlError::NotARegister("a".into()).to_string().contains("a"));
     }
 }

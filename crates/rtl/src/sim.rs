@@ -72,10 +72,7 @@ impl Simulator {
     /// Panics if `input` is not a primary input of the netlist.
     pub fn set_input(&mut self, input: SignalId, value: bool) {
         assert!(
-            matches!(
-                self.netlist.signal(input).kind,
-                SignalKind::Input
-            ),
+            matches!(self.netlist.signal(input).kind, SignalKind::Input),
             "signal '{}' is not a primary input",
             self.netlist.signal(input).name
         );
@@ -129,7 +126,10 @@ impl Simulator {
         // Sample all register next inputs before updating any register.
         let mut sampled: Vec<(SignalId, bool)> = Vec::new();
         for (id, signal) in self.netlist.iter() {
-            if let SignalKind::Register { next: Some(next), .. } = signal.kind {
+            if let SignalKind::Register {
+                next: Some(next), ..
+            } = signal.kind
+            {
                 sampled.push((id, self.values[next.index()]));
             }
         }

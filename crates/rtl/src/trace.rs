@@ -35,7 +35,7 @@ impl Trace {
 
     /// Creates a trace recording every declared output of the netlist.
     pub fn of_outputs(sim: &Simulator) -> Self {
-        Self::new(sim, &sim.netlist().outputs().to_vec())
+        Self::new(sim, sim.netlist().outputs())
     }
 
     /// Appends the current values of the recorded signals as a new row.
@@ -90,9 +90,7 @@ impl Trace {
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&format!("#{}\n", i));
             for (column, &value) in row.iter().enumerate() {
-                let changed = previous
-                    .map(|prev| prev[column] != value)
-                    .unwrap_or(true);
+                let changed = previous.map(|prev| prev[column] != value).unwrap_or(true);
                 if changed {
                     out.push_str(&format!(
                         "{}{}\n",

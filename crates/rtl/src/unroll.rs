@@ -1,0 +1,486 @@
+//! Symbolic time-frame unrolling of netlists into CNF.
+//!
+//! Bounded model checking asks "is there an input sequence of length *k*
+//! driving the circuit into a bad state?". To answer it with a SAT solver,
+//! the sequential netlist is *unrolled*: each signal gets one CNF literal per
+//! time frame, combinational gates are encoded with their Tseitin clauses in
+//! every frame, and each register's frame-*t* literal is the frame-*t−1*
+//! literal of its next-state signal. Frame 0 registers either take their
+//! reset values ([`InitialState::Reset`], the BMC base case) or are left
+//! unconstrained ([`InitialState::Free`], the k-induction step case).
+//!
+//! The [`Unroller`] is deliberately *incremental*: frames are appended one at
+//! a time and the clause database only ever grows, so a BMC driver can push
+//! the newly added clauses into an incremental SAT solver and keep all
+//! learned clauses from shallower depths.
+//!
+//! # Example
+//!
+//! ```
+//! use ipcl_rtl::{Netlist, unroll::{InitialState, Unroller}};
+//!
+//! let mut n = Netlist::new("toggler");
+//! let t = n.register("t", false);
+//! let nt = n.not_gate("nt", t);
+//! n.connect_register(t, nt)?;
+//!
+//! let mut unroller = Unroller::new(&n, InitialState::Reset)?;
+//! unroller.add_frame();
+//! unroller.add_frame();
+//! // Frame 0 is the reset frame; the register literal of frame 1 is the
+//! // frame-0 literal of its next-state cone.
+//! assert_eq!(unroller.num_frames(), 2);
+//! assert_eq!(unroller.lit(1, t), unroller.lit(0, nt));
+//! # Ok::<(), ipcl_rtl::RtlError>(())
+//! ```
+
+use ipcl_expr::{Cnf, Lit};
+
+use crate::netlist::{Gate, Netlist, RtlError, SignalId, SignalKind};
+
+/// How frame-0 registers are constrained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InitialState {
+    /// Registers take their declared reset values (paths start at reset —
+    /// the bounded-model-checking base case).
+    Reset,
+    /// Registers are unconstrained (paths start anywhere — the inductive
+    /// step case).
+    Free,
+}
+
+/// Incremental time-frame unroller producing CNF over a growing number of
+/// frames. See the module docs for the encoding.
+#[derive(Clone, Debug)]
+pub struct Unroller {
+    netlist: Netlist,
+    /// Signal kinds snapshot, indexed by signal id — cloned once at
+    /// construction so `add_frame` can walk the circuit while emitting
+    /// clauses without re-cloning the netlist per frame.
+    kinds: Vec<SignalKind>,
+    /// Topological order of combinational wires from elaboration.
+    order: Vec<SignalId>,
+    initial: InitialState,
+    cnf: Cnf,
+    /// `frames[t][signal.index()]` is the literal of the signal in frame `t`.
+    frames: Vec<Vec<Lit>>,
+    const_true: Lit,
+}
+
+impl Unroller {
+    /// Builds an unroller for `netlist` with no frames yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtlError`]s from elaboration (unconnected registers,
+    /// combinational cycles).
+    pub fn new(netlist: &Netlist, initial: InitialState) -> Result<Self, RtlError> {
+        let order = netlist.elaborate()?;
+        let mut cnf = Cnf::new(0);
+        let true_var = cnf.fresh_var();
+        cnf.add_clause([Lit::positive(true_var)]);
+        Ok(Unroller {
+            kinds: netlist.iter().map(|(_, s)| s.kind.clone()).collect(),
+            netlist: netlist.clone(),
+            order,
+            initial,
+            cnf,
+            frames: Vec::new(),
+            const_true: Lit::positive(true_var),
+        })
+    }
+
+    /// The unrolled netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// How frame-0 registers are constrained.
+    pub fn initial_state(&self) -> InitialState {
+        self.initial
+    }
+
+    /// Number of frames added so far.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The accumulated CNF. Clauses are append-only, so an incremental
+    /// driver can remember how many clauses it has already transferred to a
+    /// solver and push only the suffix after each [`Unroller::add_frame`].
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// A literal that is constrained true in every model.
+    pub fn const_true(&self) -> Lit {
+        self.const_true
+    }
+
+    /// The literal of `signal` in `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has not been added or the signal is foreign.
+    pub fn lit(&self, frame: usize, signal: SignalId) -> Lit {
+        self.frames[frame][signal.index()]
+    }
+
+    /// The literal of a named signal in `frame`, if the signal exists.
+    pub fn lit_by_name(&self, frame: usize, name: &str) -> Option<Lit> {
+        self.netlist.find(name).map(|s| self.lit(frame, s))
+    }
+
+    /// Allocates a fresh unconstrained literal (for property encodings that
+    /// need auxiliary variables, e.g. specification inputs the netlist does
+    /// not implement).
+    pub fn fresh_lit(&mut self) -> Lit {
+        Lit::positive(self.cnf.fresh_var())
+    }
+
+    /// Adds a clause to the unrolling (environment constraints, property
+    /// activation literals, …).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, literals: I) {
+        self.cnf.add_clause(literals);
+    }
+
+    /// The register-output literals of `frame`, in [`Netlist::registers`]
+    /// order — the circuit's state vector, used for simple-path constraints.
+    pub fn register_lits(&self, frame: usize) -> Vec<Lit> {
+        self.netlist
+            .registers()
+            .into_iter()
+            .map(|r| self.lit(frame, r))
+            .collect()
+    }
+
+    /// Appends one time frame and returns its index.
+    ///
+    /// Inputs get fresh literals; registers take their reset-value constant
+    /// (frame 0, [`InitialState::Reset`]), a fresh literal (frame 0,
+    /// [`InitialState::Free`]) or the previous frame's next-state literal;
+    /// gates are Tseitin-encoded on top.
+    pub fn add_frame(&mut self) -> usize {
+        let frame = self.frames.len();
+        let mut lits = vec![self.const_true; self.netlist.len()];
+        // Sources first: inputs and register outputs. The kinds snapshot is
+        // swapped out for the duration so clause emission can borrow `self`
+        // mutably without cloning the circuit per frame.
+        let kinds = std::mem::take(&mut self.kinds);
+        for (index, kind) in kinds.iter().enumerate() {
+            match kind {
+                SignalKind::Input => lits[index] = self.fresh_lit(),
+                SignalKind::Register { init, next } => {
+                    lits[index] = if frame == 0 {
+                        match self.initial {
+                            InitialState::Reset => {
+                                if *init {
+                                    self.const_true
+                                } else {
+                                    self.const_true.negated()
+                                }
+                            }
+                            InitialState::Free => self.fresh_lit(),
+                        }
+                    } else {
+                        let next = next.expect("elaboration checked connections");
+                        self.frames[frame - 1][next.index()]
+                    };
+                }
+                SignalKind::Wire(_) => {}
+            }
+        }
+        // Then wires in topological order.
+        for index in 0..self.order.len() {
+            let id = self.order[index];
+            let SignalKind::Wire(gate) = &kinds[id.index()] else {
+                unreachable!("evaluation order contains only wires");
+            };
+            lits[id.index()] = self.encode_gate(gate, &lits);
+        }
+        self.kinds = kinds;
+        self.frames.push(lits);
+        frame
+    }
+
+    fn encode_gate(&mut self, gate: &Gate, lits: &[Lit]) -> Lit {
+        match gate {
+            Gate::Const(true) => self.const_true,
+            Gate::Const(false) => self.const_true.negated(),
+            Gate::Buf(a) => lits[a.index()],
+            Gate::Not(a) => lits[a.index()].negated(),
+            Gate::And(ops) => {
+                let operands: Vec<Lit> = ops.iter().map(|s| lits[s.index()]).collect();
+                self.define_and(&operands)
+            }
+            Gate::Or(ops) => {
+                let negated: Vec<Lit> = ops.iter().map(|s| lits[s.index()].negated()).collect();
+                self.define_and(&negated).negated()
+            }
+            Gate::Xor(a, b) => self.define_xor(lits[a.index()], lits[b.index()]),
+            Gate::Mux { sel, high, low } => {
+                self.define_mux(lits[sel.index()], lits[high.index()], lits[low.index()])
+            }
+        }
+    }
+
+    /// Defines `g ↔ AND(operands)` over a fresh literal `g` (public so
+    /// property encoders can build formulas over frame literals).
+    pub fn define_and(&mut self, operands: &[Lit]) -> Lit {
+        match operands.len() {
+            0 => self.const_true,
+            1 => operands[0],
+            _ => {
+                let g = self.fresh_lit();
+                for &lit in operands {
+                    self.cnf.add_clause([g.negated(), lit]);
+                }
+                let mut clause: Vec<Lit> = operands.iter().map(|l| l.negated()).collect();
+                clause.push(g);
+                self.cnf.add_clause(clause);
+                g
+            }
+        }
+    }
+
+    /// Defines `g ↔ (a ⊕ b)` over a fresh literal `g`.
+    pub fn define_xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let g = self.fresh_lit();
+        self.cnf.add_clause([g.negated(), a, b]);
+        self.cnf.add_clause([g.negated(), a.negated(), b.negated()]);
+        self.cnf.add_clause([g, a.negated(), b]);
+        self.cnf.add_clause([g, a, b.negated()]);
+        g
+    }
+
+    /// Defines `g ↔ if sel { high } else { low }` over a fresh literal `g`.
+    pub fn define_mux(&mut self, sel: Lit, high: Lit, low: Lit) -> Lit {
+        let g = self.fresh_lit();
+        self.cnf.add_clause([sel.negated(), high.negated(), g]);
+        self.cnf.add_clause([sel.negated(), high, g.negated()]);
+        self.cnf.add_clause([sel, low.negated(), g]);
+        self.cnf.add_clause([sel, low, g.negated()]);
+        // Redundant but propagation-strengthening: if both branches agree the
+        // output is known without the select.
+        self.cnf.add_clause([high.negated(), low.negated(), g]);
+        self.cnf.add_clause([high, low, g.negated()]);
+        g
+    }
+
+    /// Defines a fresh literal true iff the register states of two frames
+    /// differ — the building block of loop-free (simple) path constraints
+    /// for k-induction. Returns `None` for stateless netlists.
+    pub fn state_difference(&mut self, frame_a: usize, frame_b: usize) -> Option<Lit> {
+        let a = self.register_lits(frame_a);
+        let b = self.register_lits(frame_b);
+        if a.is_empty() {
+            return None;
+        }
+        let diffs: Vec<Lit> = a
+            .into_iter()
+            .zip(b)
+            .map(|(la, lb)| self.define_xor(la, lb))
+            .collect();
+        // diff ↔ OR(diffs)
+        let negated: Vec<Lit> = diffs.iter().map(|l| l.negated()).collect();
+        Some(self.define_and(&negated).negated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use ipcl_sat::{SatResult, Solver};
+
+    /// Two-bit counter with an enable input.
+    fn counter() -> (Netlist, SignalId, SignalId, SignalId) {
+        let mut n = Netlist::new("counter2");
+        let enable = n.input("enable");
+        let bit0 = n.register("bit0", false);
+        let bit1 = n.register("bit1", false);
+        let flip0 = n.xor_gate("flip0", bit0, enable);
+        let carry = n.and_gate("carry", [bit0, enable]);
+        let flip1 = n.xor_gate("flip1", bit1, carry);
+        n.connect_register(bit0, flip0).unwrap();
+        n.connect_register(bit1, flip1).unwrap();
+        (n, enable, bit0, bit1)
+    }
+
+    fn model_of(unroller: &Unroller) -> Vec<bool> {
+        let mut solver = Solver::from_cnf(unroller.cnf());
+        match solver.solve() {
+            SatResult::Sat(model) => model,
+            SatResult::Unsat => panic!("unrolling must be satisfiable"),
+        }
+    }
+
+    fn lit_value(model: &[bool], lit: Lit) -> bool {
+        model[lit.var() as usize] == lit.is_positive()
+    }
+
+    #[test]
+    fn reset_unrolling_matches_simulation() {
+        let (n, enable, bit0, bit1) = counter();
+        let mut unroller = Unroller::new(&n, InitialState::Reset).unwrap();
+        for _ in 0..5 {
+            let frame = unroller.add_frame();
+            // Force enable high in every frame.
+            let enable_lit = unroller.lit(frame, enable);
+            unroller.add_clause([enable_lit]);
+        }
+        let model = model_of(&unroller);
+
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input(enable, true);
+        for frame in 0..5 {
+            assert_eq!(
+                lit_value(&model, unroller.lit(frame, bit0)),
+                sim.value(bit0),
+                "bit0 frame {frame}"
+            );
+            assert_eq!(
+                lit_value(&model, unroller.lit(frame, bit1)),
+                sim.value(bit1),
+                "bit1 frame {frame}"
+            );
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn reset_state_is_forced() {
+        let (n, _, bit0, _) = counter();
+        let mut unroller = Unroller::new(&n, InitialState::Reset).unwrap();
+        unroller.add_frame();
+        // bit0 resets to false: asserting it true at frame 0 is unsat.
+        let bit0_lit = unroller.lit(0, bit0);
+        let mut solver = Solver::from_cnf(unroller.cnf());
+        assert_eq!(
+            solver.solve_under_assumptions(&[bit0_lit]),
+            SatResult::Unsat
+        );
+        assert!(solver
+            .solve_under_assumptions(&[bit0_lit.negated()])
+            .is_sat());
+    }
+
+    #[test]
+    fn free_initial_state_is_unconstrained() {
+        let (n, _, bit0, bit1) = counter();
+        let mut unroller = Unroller::new(&n, InitialState::Free).unwrap();
+        unroller.add_frame();
+        let mut solver = Solver::from_cnf(unroller.cnf());
+        // Any initial state is reachable in the free encoding.
+        for (v0, v1) in [(false, false), (true, false), (false, true), (true, true)] {
+            let assumptions = [
+                if v0 {
+                    unroller.lit(0, bit0)
+                } else {
+                    unroller.lit(0, bit0).negated()
+                },
+                if v1 {
+                    unroller.lit(0, bit1)
+                } else {
+                    unroller.lit(0, bit1).negated()
+                },
+            ];
+            assert!(solver.solve_under_assumptions(&assumptions).is_sat());
+        }
+    }
+
+    #[test]
+    fn registers_tie_to_previous_frame() {
+        let mut n = Netlist::new("chain");
+        let input = n.input("in");
+        let r = n.register("r", false);
+        n.connect_register(r, input).unwrap();
+        let mut unroller = Unroller::new(&n, InitialState::Reset).unwrap();
+        unroller.add_frame();
+        unroller.add_frame();
+        assert_eq!(unroller.lit(1, r), unroller.lit(0, input));
+    }
+
+    #[test]
+    fn state_difference_distinguishes_states() {
+        let (n, enable, _, _) = counter();
+        let mut unroller = Unroller::new(&n, InitialState::Reset).unwrap();
+        unroller.add_frame();
+        unroller.add_frame();
+        let enable_lit = unroller.lit(0, enable);
+        let diff = unroller.state_difference(0, 1).unwrap();
+        let mut solver = Solver::from_cnf(unroller.cnf());
+        // With enable high the counter advances: states differ.
+        assert_eq!(
+            solver.solve_under_assumptions(&[enable_lit, diff.negated()]),
+            SatResult::Unsat
+        );
+        // With enable low the state repeats: difference is unsatisfiable.
+        assert_eq!(
+            solver.solve_under_assumptions(&[enable_lit.negated(), diff]),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn stateless_netlists_have_no_state_difference() {
+        let mut n = Netlist::new("comb");
+        let a = n.input("a");
+        let b = n.not_gate("b", a);
+        n.mark_output(b);
+        let mut unroller = Unroller::new(&n, InitialState::Reset).unwrap();
+        unroller.add_frame();
+        unroller.add_frame();
+        assert!(unroller.state_difference(0, 1).is_none());
+    }
+
+    #[test]
+    fn all_gate_kinds_encode_consistently() {
+        // A netlist exercising every gate, checked against simulation for
+        // all four input combinations in one frame.
+        let mut n = Netlist::new("gates");
+        let a = n.input("a");
+        let b = n.input("b");
+        let t = n.constant("t", true);
+        let f = n.constant("f", false);
+        let and = n.and_gate("and", [a, b, t]);
+        let or = n.or_gate("or", [a, b, f]);
+        let xor = n.xor_gate("xor", a, b);
+        let mux = n.mux_gate("mux", a, b, xor);
+        let buf = n.buf_gate("buf", mux);
+        let outputs = [and, or, xor, mux, buf];
+
+        let mut unroller = Unroller::new(&n, InitialState::Reset).unwrap();
+        unroller.add_frame();
+        let mut solver = Solver::from_cnf(unroller.cnf());
+        let mut sim = Simulator::new(&n).unwrap();
+        for mask in 0..4u8 {
+            let va = mask & 1 != 0;
+            let vb = mask & 2 != 0;
+            sim.set_input(a, va);
+            sim.set_input(b, vb);
+            let assumptions = [
+                if va {
+                    unroller.lit(0, a)
+                } else {
+                    unroller.lit(0, a).negated()
+                },
+                if vb {
+                    unroller.lit(0, b)
+                } else {
+                    unroller.lit(0, b).negated()
+                },
+            ];
+            match solver.solve_under_assumptions(&assumptions) {
+                SatResult::Sat(model) => {
+                    for &out in &outputs {
+                        let lit = unroller.lit(0, out);
+                        let value = model[lit.var() as usize] == lit.is_positive();
+                        assert_eq!(value, sim.value(out), "{} mask {mask}", n.signal(out).name);
+                    }
+                }
+                SatResult::Unsat => panic!("frame must be satisfiable"),
+            }
+        }
+    }
+}

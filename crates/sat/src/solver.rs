@@ -47,11 +47,20 @@ struct Clause {
     literals: Vec<Lit>,
 }
 
-/// A CDCL SAT solver over a fixed clause database.
+/// A CDCL SAT solver with incremental clause addition and solving under
+/// assumptions.
 ///
-/// Construct with [`Solver::from_cnf`], then call [`Solver::solve`]. The
-/// solver may be reused: `solve` always restarts the search from scratch but
-/// keeps learned clauses, so repeated calls are cheap.
+/// Construct with [`Solver::from_cnf`] (or empty with [`Solver::new`]), then
+/// call [`Solver::solve`] / [`Solver::solve_under_assumptions`]. The solver
+/// is designed for *incremental* use, the pattern of bounded model checking:
+///
+/// * [`Solver::add_clause`] may be called between `solve` calls to extend
+///   the formula (e.g. with the next unrolled time frame);
+/// * learned clauses are retained across calls, so later queries reuse the
+///   conflict analysis work of earlier ones;
+/// * [`Solver::solve_under_assumptions`] decides satisfiability under a set
+///   of temporarily-forced literals without polluting the clause database,
+///   so per-depth property activations can be retracted for the next depth.
 #[derive(Clone, Debug)]
 pub struct Solver {
     num_vars: usize,
@@ -83,12 +92,12 @@ pub struct Solver {
 }
 
 impl Solver {
-    /// Builds a solver for `cnf`.
-    pub fn from_cnf(cnf: &Cnf) -> Self {
-        let num_vars = cnf.num_vars as usize;
-        let mut solver = Solver {
+    /// Builds an empty solver over `num_vars` variables (use
+    /// [`Solver::add_clause`] to populate it incrementally).
+    pub fn new(num_vars: usize) -> Self {
+        Solver {
             num_vars,
-            clauses: Vec::with_capacity(cnf.clauses.len()),
+            clauses: Vec::new(),
             original_clauses: 0,
             watches: vec![Vec::new(); 2 * num_vars],
             values: vec![None; num_vars],
@@ -102,11 +111,15 @@ impl Solver {
             phases: vec![false; num_vars],
             trivially_unsat: false,
             stats: SolverStats::default(),
-        };
-        for clause in &cnf.clauses {
-            solver.add_clause(clause.clone());
         }
-        solver.original_clauses = solver.clauses.len();
+    }
+
+    /// Builds a solver for `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut solver = Solver::new(cnf.num_vars as usize);
+        for clause in &cnf.clauses {
+            solver.add_clause(clause.iter().copied());
+        }
         solver
     }
 
@@ -115,7 +128,50 @@ impl Solver {
         self.stats
     }
 
-    fn add_clause(&mut self, mut literals: Vec<Lit>) {
+    /// The number of variables the solver knows about.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The number of stored clauses (original plus learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Grows the variable universe to at least `num_vars` variables.
+    ///
+    /// New variables are unconstrained until clauses mention them. Existing
+    /// clauses, learned clauses and saved phases are preserved, which is what
+    /// makes the solver usable incrementally: a bounded-model-checking loop
+    /// adds the variables and clauses of one more time frame, then re-solves.
+    pub fn reserve_vars(&mut self, num_vars: usize) {
+        if num_vars <= self.num_vars {
+            return;
+        }
+        self.num_vars = num_vars;
+        self.watches.resize(2 * num_vars, Vec::new());
+        self.values.resize(num_vars, None);
+        self.levels.resize(num_vars, UNASSIGNED_LEVEL);
+        self.reasons.resize(num_vars, None);
+        self.activity.resize(num_vars, 0.0);
+        self.phases.resize(num_vars, false);
+    }
+
+    /// Adds a clause to the database. May be called between `solve` calls;
+    /// variables beyond the current universe grow it automatically.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, literals: I) {
+        let literals: Vec<Lit> = literals.into_iter().collect();
+        if let Some(max_var) = literals.iter().map(|l| l.var()).max() {
+            self.reserve_vars(max_var as usize + 1);
+        }
+        if self.insert_clause(literals) {
+            self.original_clauses += 1;
+        }
+    }
+
+    /// Stores a (deduplicated, non-tautological) clause; returns whether it
+    /// was kept.
+    fn insert_clause(&mut self, mut literals: Vec<Lit>) -> bool {
         literals.sort_unstable();
         literals.dedup();
         // A clause containing x and !x is a tautology: drop it.
@@ -123,10 +179,13 @@ impl Solver {
             .windows(2)
             .any(|w| w[0].var() == w[1].var() && w[0] != w[1])
         {
-            return;
+            return false;
         }
         match literals.len() {
-            0 => self.trivially_unsat = true,
+            0 => {
+                self.trivially_unsat = true;
+                false
+            }
             _ => {
                 let index = self.clauses.len();
                 // Watch the first two literals (or duplicate the single one).
@@ -137,6 +196,7 @@ impl Solver {
                     self.watches[w1.code()].push(index);
                 }
                 self.clauses.push(Clause { literals });
+                true
             }
         }
     }
@@ -305,8 +365,8 @@ impl Solver {
                 return (learned, backjump);
             }
             resolve_var = Some(pivot.var());
-            clause_index = self.reasons[pivot.var() as usize]
-                .expect("propagated literal has a reason clause");
+            clause_index =
+                self.reasons[pivot.var() as usize].expect("propagated literal has a reason clause");
         }
     }
 
@@ -354,8 +414,25 @@ impl Solver {
     /// Returns [`SatResult::Sat`] with a model assigning every CNF variable,
     /// or [`SatResult::Unsat`].
     pub fn solve(&mut self) -> SatResult {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Decides satisfiability under temporarily-forced `assumptions`.
+    ///
+    /// Assumptions are enqueued as pseudo-decisions below every search
+    /// decision (the MiniSat discipline), so learned clauses never depend on
+    /// them and remain valid for later calls with different assumptions —
+    /// the key property for incremental bounded model checking, where each
+    /// depth activates a different property literal.
+    ///
+    /// Returns [`SatResult::Unsat`] if the formula is unsatisfiable *under
+    /// the assumptions* (the formula itself may still be satisfiable).
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
         if self.trivially_unsat {
             return SatResult::Unsat;
+        }
+        if let Some(max_var) = assumptions.iter().map(|l| l.var()).max() {
+            self.reserve_vars(max_var as usize + 1);
         }
         self.reset_search();
 
@@ -402,6 +479,26 @@ impl Solver {
                     conflicts_since_restart = 0;
                     conflicts_until_restart = (conflicts_until_restart * 3) / 2;
                     self.backtrack_to(0);
+                }
+            } else if (self.decision_level() as usize) < assumptions.len() {
+                // Establish the next assumption as a pseudo-decision.
+                let assumption = assumptions[self.decision_level() as usize];
+                match self.value_of(assumption) {
+                    Some(true) => {
+                        // Already implied: open an empty level so assumption
+                        // indices keep lining up with decision levels.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Some(false) => {
+                        // The formula forces the complement: unsatisfiable
+                        // under the assumptions.
+                        return SatResult::Unsat;
+                    }
+                    None => {
+                        self.trail_lim.push(self.trail.len());
+                        let enqueued = self.enqueue(assumption, None);
+                        debug_assert!(enqueued, "assumption variable was unassigned");
+                    }
                 }
             } else {
                 match self.pick_branch_variable() {
@@ -562,7 +659,7 @@ mod tests {
     #[test]
     fn solver_agrees_with_brute_force_on_random_formulas() {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
 
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..300 {
@@ -576,8 +673,8 @@ mod tests {
                     .collect();
                 cnf.add_clause(clause);
             }
-            let brute_force_sat = (0u64..(1 << num_vars))
-                .any(|mask| cnf.eval(|v| mask & (1 << v) != 0));
+            let brute_force_sat =
+                (0u64..(1 << num_vars)).any(|mask| cnf.eval(|v| mask & (1 << v) != 0));
             let mut solver = Solver::from_cnf(&cnf);
             let result = solver.solve();
             assert_eq!(
@@ -602,6 +699,133 @@ mod tests {
         let second = solver.solve();
         assert_eq!(first.is_sat(), second.is_sat());
         assert!(first.is_sat());
+    }
+
+    #[test]
+    fn assumptions_restrict_without_polluting() {
+        // (a | b) is satisfiable; under assumptions !a, !b it is not.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert!(solver.solve().is_sat());
+        assert_eq!(
+            solver.solve_under_assumptions(&[lit(0, false), lit(1, false)]),
+            SatResult::Unsat
+        );
+        // The assumptions were not added as clauses: still satisfiable.
+        assert!(solver.solve().is_sat());
+        // A single assumption forces the other variable.
+        match solver.solve_under_assumptions(&[lit(0, false)]) {
+            SatResult::Sat(model) => {
+                assert!(!model[0]);
+                assert!(model[1]);
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn assumptions_conflicting_with_units_are_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([lit(0, true)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(
+            solver.solve_under_assumptions(&[lit(0, false)]),
+            SatResult::Unsat
+        );
+        // Redundant (already-implied) assumptions are fine.
+        assert!(solver.solve_under_assumptions(&[lit(0, true)]).is_sat());
+    }
+
+    #[test]
+    fn incremental_clause_addition_grows_the_universe() {
+        let mut solver = Solver::new(0);
+        assert!(solver.solve().is_sat());
+        solver.add_clause([lit(0, true), lit(3, true)]);
+        assert_eq!(solver.num_vars(), 4);
+        assert!(solver.solve().is_sat());
+        solver.add_clause([lit(0, false)]);
+        solver.add_clause([lit(3, false)]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn learned_clauses_survive_assumption_cycles() {
+        // An unsatisfiable core over x0..x2 plus a free selector x3. After a
+        // first refutation under the selector, later calls reuse the learned
+        // clauses (observable as a non-decreasing learned count and a correct
+        // answer either way).
+        let mut cnf = Cnf::new(4);
+        let s = lit(3, false); // selector literal (x3 disables the core)
+        for c in [
+            vec![lit(0, true), lit(1, true)],
+            vec![lit(0, true), lit(1, false)],
+            vec![lit(0, false), lit(2, true)],
+            vec![lit(0, false), lit(2, false)],
+        ] {
+            let mut clause = c.clone();
+            clause.push(s.negated()); // core active only when x3 assumed false…
+            cnf.add_clause(clause);
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(solver.solve_under_assumptions(&[s]), SatResult::Unsat);
+        let learned_after_first = solver.stats().learned_clauses;
+        // Without the activating assumption the formula is satisfiable.
+        assert!(solver.solve().is_sat());
+        // Re-activating is again unsatisfiable; learned clauses persisted.
+        assert_eq!(solver.solve_under_assumptions(&[s]), SatResult::Unsat);
+        assert!(solver.stats().learned_clauses >= learned_after_first);
+    }
+
+    #[test]
+    fn incremental_and_monolithic_agree_on_random_formulas() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(0xACE);
+        for _ in 0..100 {
+            let num_vars = rng.random_range(1..=6u32);
+            let num_clauses = rng.random_range(1..=18usize);
+            let mut cnf = Cnf::new(num_vars);
+            let mut incremental = Solver::new(num_vars as usize);
+            for _ in 0..num_clauses {
+                let width = rng.random_range(1..=3usize);
+                let clause: Vec<Lit> = (0..width)
+                    .map(|_| lit(rng.random_range(0..num_vars), rng.random_bool(0.5)))
+                    .collect();
+                cnf.add_clause(clause.clone());
+                incremental.add_clause(clause);
+                // Interleave solves to exercise clause retention mid-stream.
+                let _ = incremental.solve();
+            }
+            let mut monolithic = Solver::from_cnf(&cnf);
+            assert_eq!(
+                incremental.solve().is_sat(),
+                monolithic.solve().is_sat(),
+                "disagreement on {}",
+                cnf.to_dimacs()
+            );
+        }
+    }
+
+    #[test]
+    fn assumption_order_does_not_matter() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, false), lit(1, true)]);
+        cnf.add_clause([lit(1, false), lit(2, true)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        for assumptions in [
+            vec![lit(0, true), lit(2, false)],
+            vec![lit(2, false), lit(0, true)],
+        ] {
+            assert_eq!(
+                solver.solve_under_assumptions(&assumptions),
+                SatResult::Unsat
+            );
+        }
+        assert!(solver
+            .solve_under_assumptions(&[lit(0, true), lit(2, true)])
+            .is_sat());
     }
 
     #[test]

@@ -26,7 +26,8 @@ use std::collections::BTreeMap;
 
 use ipcl_core::fixpoint::{derive_symbolic, Derivation};
 use ipcl_core::FunctionalSpec;
-use ipcl_expr::{Expr, VarId};
+use ipcl_expr::{simplify::simplify, Expr, VarId};
+pub use ipcl_pipesim::BrokenVariant;
 use ipcl_rtl::{Netlist, SignalId};
 
 /// Options controlling synthesis.
@@ -148,6 +149,109 @@ pub fn synthesize_interlock_with(
     }
 }
 
+/// Synthesises an interlock containing the functional bug described by a
+/// `ipcl_pipesim` [`BrokenVariant`] — the netlist-level twin of the
+/// simulator's `BrokenInterlock` policy, so the same bug classes the
+/// simulation experiments inject can be handed to the sequential property
+/// checker (`ipcl-bmc` via `ipcl-checker`):
+///
+/// * [`BrokenVariant::IgnoreScoreboard`] — scoreboard state
+///   (`*.operand_outstanding`, `scb[*]`) is treated as never set, so issue
+///   stages miss read-after-write stalls;
+/// * [`BrokenVariant::IgnoreCompletionGrant`] — every `*.gnt` input is
+///   treated as granted, so completion stages move even when they lost the
+///   bus;
+/// * [`BrokenVariant::BadResetValues`] — a reset-initialised shift chain
+///   forces every `moe` flag high for the first `cycles` cycles regardless
+///   of the stall conditions (the paper's incorrect-initialisation bug
+///   class), making the bug invisible to purely combinational checks.
+///
+/// The netlist declares inputs for *all* of `spec`'s environment signals
+/// (even those the injected bug ignores), so counterexample traces replay
+/// against it directly.
+pub fn synthesize_broken_interlock(
+    spec: &FunctionalSpec,
+    variant: BrokenVariant,
+) -> SynthesizedInterlock {
+    let derivation = derive_symbolic(spec);
+    let pool = spec.pool();
+    let module_name = match variant {
+        BrokenVariant::IgnoreScoreboard => "ipcl_broken_scoreboard",
+        BrokenVariant::IgnoreCompletionGrant => "ipcl_broken_completion",
+        BrokenVariant::BadResetValues { .. } => "ipcl_broken_reset",
+    };
+    let mut netlist = Netlist::new(module_name);
+
+    let mut inputs: BTreeMap<String, SignalId> = BTreeMap::new();
+    let mut input_of: BTreeMap<VarId, SignalId> = BTreeMap::new();
+    for var in spec.env_vars() {
+        let name = pool.name_or_fallback(var);
+        let signal = netlist.input(&name);
+        inputs.insert(name, signal);
+        input_of.insert(var, signal);
+    }
+
+    // BadResetValues: a chain of `cycles` registers, all reset to 1 and
+    // shifting in 0, whose last element is high for exactly the first
+    // `cycles` cycles after reset.
+    let force_high = match variant {
+        BrokenVariant::BadResetValues { cycles } if cycles > 0 => {
+            let mut previous = netlist.constant("force_off", false);
+            for i in 0..cycles {
+                let register = netlist.register(&format!("force_{i}"), true);
+                netlist
+                    .connect_register(register, previous)
+                    .expect("freshly created register");
+                previous = register;
+            }
+            Some(previous)
+        }
+        _ => None,
+    };
+
+    let mut moe_outputs = BTreeMap::new();
+    for stage in spec.stages() {
+        let name = pool.name_or_fallback(stage.moe);
+        let moe_expr = derivation
+            .moe_expr(stage.moe)
+            .expect("derivation covers every stage")
+            .clone();
+        let broken_expr = match variant {
+            BrokenVariant::IgnoreScoreboard => moe_expr.substitute(&|v: VarId| {
+                let var_name = pool.name_or_fallback(v);
+                (var_name.contains("operand_outstanding") || var_name.starts_with("scb["))
+                    .then_some(Expr::FALSE)
+            }),
+            BrokenVariant::IgnoreCompletionGrant => moe_expr.substitute(&|v: VarId| {
+                pool.name_or_fallback(v)
+                    .ends_with(".gnt")
+                    .then_some(Expr::TRUE)
+            }),
+            BrokenVariant::BadResetValues { .. } => moe_expr,
+        };
+        let logic = build_expr(
+            &mut netlist,
+            &simplify(&broken_expr),
+            &input_of,
+            pool,
+            &name,
+        );
+        let output = match force_high {
+            Some(force) => netlist.or_gate(&name, [force, logic]),
+            None => netlist.buf_gate(&name, logic),
+        };
+        netlist.mark_output(output);
+        moe_outputs.insert(name, output);
+    }
+
+    SynthesizedInterlock {
+        netlist,
+        derivation,
+        moe_outputs,
+        inputs,
+    }
+}
+
 /// Recursively instantiates gates for `expr`.
 fn build_expr(
     netlist: &mut Netlist,
@@ -158,9 +262,12 @@ fn build_expr(
 ) -> SignalId {
     match expr {
         Expr::Const(value) => netlist.constant(&format!("{prefix}_const"), *value),
-        Expr::Var(v) => *input_of
-            .get(v)
-            .unwrap_or_else(|| panic!("closed form references non-input {}", pool.name_or_fallback(*v))),
+        Expr::Var(v) => *input_of.get(v).unwrap_or_else(|| {
+            panic!(
+                "closed form references non-input {}",
+                pool.name_or_fallback(*v)
+            )
+        }),
         Expr::Not(e) => {
             let inner = build_expr(netlist, e, input_of, pool, prefix);
             netlist.not_gate(&format!("{prefix}_not"), inner)
@@ -214,7 +321,7 @@ mod tests {
     use ipcl_expr::Assignment;
     use ipcl_rtl::Simulator;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn synthesized_netlist_elaborates_and_emits_verilog() {
@@ -242,7 +349,10 @@ mod tests {
                 .iter()
                 .map(|&v| (v, rng.random_bool(0.5)))
                 .collect();
-            for (&var, value) in env_vars.iter().zip(env_vars.iter().map(|&v| env.get_or_false(v))) {
+            for (&var, value) in env_vars
+                .iter()
+                .zip(env_vars.iter().map(|&v| env.get_or_false(v)))
+            {
                 let name = pool.name_or_fallback(var);
                 let signal = synthesized.inputs()[&name];
                 sim.set_input(signal, value);
@@ -286,6 +396,53 @@ mod tests {
         assert_eq!(synthesized.moe_outputs().len(), 24);
         assert!(synthesized.netlist().elaborate().is_ok());
         assert!(synthesized.netlist().len() > 100);
+    }
+
+    #[test]
+    fn broken_variants_synthesize_and_differ_from_correct() {
+        let spec = ExampleArch::new().functional_spec();
+        let correct = synthesize_interlock(&spec);
+        for variant in [
+            BrokenVariant::IgnoreScoreboard,
+            BrokenVariant::IgnoreCompletionGrant,
+            BrokenVariant::BadResetValues { cycles: 2 },
+        ] {
+            let broken = synthesize_broken_interlock(&spec, variant);
+            assert!(broken.netlist().elaborate().is_ok(), "{variant:?}");
+            assert_eq!(broken.moe_outputs().len(), 6, "{variant:?}");
+            // Inputs cover the full environment even when ignored.
+            assert_eq!(broken.inputs().len(), spec.env_vars().len());
+            assert_ne!(broken.netlist(), correct.netlist(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn bad_reset_forces_moe_high_for_the_configured_cycles() {
+        let spec = ExampleArch::new().functional_spec();
+        let broken =
+            synthesize_broken_interlock(&spec, BrokenVariant::BadResetValues { cycles: 2 });
+        let mut sim = Simulator::new(broken.netlist()).unwrap();
+        // Raise a stall condition (completion request without grant) that a
+        // correct interlock would honour immediately.
+        let req = broken.inputs()["long.req"];
+        sim.set_input(req, true);
+        let long4 = broken.moe_outputs()["long.4.moe"];
+        assert!(sim.value(long4), "cycle 0 is forced high");
+        sim.step();
+        assert!(sim.value(long4), "cycle 1 is still forced high");
+        sim.step();
+        assert!(!sim.value(long4), "from cycle 2 the stall condition wins");
+    }
+
+    #[test]
+    fn ignore_completion_grant_never_stalls_on_lost_bus() {
+        let spec = ExampleArch::new().functional_spec();
+        let broken = synthesize_broken_interlock(&spec, BrokenVariant::IgnoreCompletionGrant);
+        let mut sim = Simulator::new(broken.netlist()).unwrap();
+        let req = broken.inputs()["long.req"];
+        let long4 = broken.moe_outputs()["long.4.moe"];
+        sim.set_input(req, true); // request without grant: must stall, does not
+        assert!(sim.value(long4));
     }
 
     #[test]

@@ -50,7 +50,10 @@ fn main() {
     );
 
     println!("\n=== Simulation at three issue-pressure levels ===");
-    println!("{:>12} {:>9} {:>9} {:>8} {:>12}", "utilisation", "cycles", "ops", "ipc", "stall cycles");
+    println!(
+        "{:>12} {:>9} {:>9} {:>8} {:>12}",
+        "utilisation", "cycles", "ops", "ipc", "stall cycles"
+    );
     for utilisation in [0.3, 0.6, 0.9] {
         let program = WorkloadConfig::for_arch(&arch, utilisation)
             .with_packets(1_000)

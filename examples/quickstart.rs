@@ -22,7 +22,10 @@ fn main() {
     let report = check_preconditions(&spec);
     println!("\n=== Section 3.1 preconditions ===");
     println!("monotone stall conditions : {}", report.monotone);
-    println!("P1 (all-stalled satisfies): {}", report.p1_all_stalled_satisfies);
+    println!(
+        "P1 (all-stalled satisfies): {}",
+        report.p1_all_stalled_satisfies
+    );
     println!(
         "P2 (disjunction closure)  : {} ({} pairs checked)",
         report.p2_disjunction_closed, report.p2_samples_checked

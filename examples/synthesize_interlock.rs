@@ -20,9 +20,12 @@ fn main() {
         synthesized.moe_outputs().len(),
         synthesized.inputs().len()
     );
-    let report = check_netlist(&spec, synthesized.netlist(), Engine::Bdd)
-        .expect("all moe outputs present");
-    println!("equivalent to the combined specification: {}", report.holds());
+    let report =
+        check_netlist(&spec, synthesized.netlist(), Engine::Bdd).expect("all moe outputs present");
+    println!(
+        "equivalent to the combined specification: {}",
+        report.holds()
+    );
 
     println!("\n=== Generated Verilog (excerpt) ===");
     for line in synthesized.to_verilog().lines().take(25) {
@@ -51,8 +54,7 @@ fn main() {
         println!("  {signal}: resets to {actual} but the empty pipeline requires {expected}");
     }
 
-    let dynamic = random_falsification(&spec, buggy.netlist(), 100, 7)
-        .expect("netlist elaborates");
+    let dynamic = random_falsification(&spec, buggy.netlist(), 100, 7).expect("netlist elaborates");
     println!(
         "random falsification found {} assertion violations in 100 cycles (first at cycle {})",
         dynamic.len(),

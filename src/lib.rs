@@ -17,6 +17,7 @@
 //! | [`assertgen`] | `ipcl-assertgen` | SVA/PSL assertion generation and runtime monitors |
 //! | [`synth`] | `ipcl-synth` | interlock RTL synthesis from the specification |
 //! | [`checker`] | `ipcl-checker` | BDD/SAT property checking and reset checks |
+//! | [`bmc`] | `ipcl-bmc` | bounded model checking and k-induction over netlists |
 //!
 //! # Quick start
 //!
@@ -41,6 +42,7 @@
 
 pub use ipcl_assertgen as assertgen;
 pub use ipcl_bdd as bdd;
+pub use ipcl_bmc as bmc;
 pub use ipcl_checker as checker;
 pub use ipcl_core as core;
 pub use ipcl_expr as expr;

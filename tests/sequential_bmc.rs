@@ -1,0 +1,259 @@
+//! Integration tests of the sequential verification flow (ISSUE 1):
+//! `pipesim::BrokenVariant` bug classes synthesized to netlists, falsified
+//! by BMC with minimal-length simulator-replayable counterexamples; correct
+//! implementations proved by k-induction — on the paper's example
+//! architecture and on the FirePath-like configuration.
+
+use ipcl::checker::{
+    check_netlist_sequential, check_netlist_sequential_with, BmcOutcome, Engine, Latency,
+    PropertyKind, SequentialOptions,
+};
+use ipcl::core::example::ExampleArch;
+use ipcl::core::{ArchSpec, FunctionalSpec};
+use ipcl::pipesim::BrokenVariant;
+use ipcl::rtl::Netlist;
+use ipcl::synth::{
+    synthesize_broken_interlock, synthesize_interlock, synthesize_interlock_with, SynthesisOptions,
+};
+
+fn example_spec() -> FunctionalSpec {
+    ExampleArch::new().functional_spec()
+}
+
+/// Asserts that every counterexample in the report replays through the
+/// simulator (the checker asserts this internally; re-doing it here makes
+/// the integration contract explicit) and returns the minimal trace length.
+fn assert_replayable_and_minimal_length(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    report: &ipcl::checker::SequentialReport,
+) -> usize {
+    let counterexamples = report.counterexamples();
+    assert!(!counterexamples.is_empty(), "expected a falsification");
+    let mut min_length = usize::MAX;
+    for result in counterexamples {
+        let cex = result.outcome.counterexample().unwrap();
+        let replay = cex.replay(spec, netlist, &result.property).unwrap();
+        assert!(
+            replay.violation_reproduced,
+            "{} did not replay:\n{}",
+            result.property.name,
+            cex.render()
+        );
+        min_length = min_length.min(cex.length());
+    }
+    min_length
+}
+
+/// The wrong-reset bug (registered outputs resetting to "stalled"): BMC
+/// falsifies it with the minimal one-cycle trace, and the injected
+/// `BadResetValues` policy netlist (flags forced high out of reset) is
+/// falsified with the minimal two-cycle trace (quiet reset frame, then the
+/// hazard the forced flags ignore).
+#[test]
+fn bmc_finds_wrong_reset_with_minimal_counterexample() {
+    let spec = example_spec();
+
+    // Performance-direction reset bug: stalled out of reset.
+    let wrong_reset = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: false,
+            ..Default::default()
+        },
+    );
+    let options = SequentialOptions {
+        latency: Some(Latency::Combinational),
+        ..SequentialOptions::from(Engine::Bmc { k: 4 })
+    };
+    let report = check_netlist_sequential_with(&spec, wrong_reset.netlist(), &options).unwrap();
+    assert!(report.falsified());
+    assert!(!report.reset.ok(), "the static reset check agrees");
+    let min_length = assert_replayable_and_minimal_length(&spec, wrong_reset.netlist(), &report);
+    assert_eq!(min_length, 1, "reset bug is visible in the reset frame");
+
+    // Functional-direction reset bug: moe flags forced high after reset
+    // (pipesim's BadResetValues), invisible at cycle 0 (quiet) but caught at
+    // cycle 1.
+    let forced = synthesize_broken_interlock(&spec, BrokenVariant::BadResetValues { cycles: 2 });
+    let report = check_netlist_sequential(&spec, forced.netlist(), Engine::Bmc { k: 6 }).unwrap();
+    assert!(report.falsified());
+    let functional_falsified: Vec<_> = report
+        .counterexamples()
+        .into_iter()
+        .filter(|r| matches!(r.property.kind, PropertyKind::Functional))
+        .collect();
+    assert!(
+        !functional_falsified.is_empty(),
+        "forcing flags high misses required stalls"
+    );
+    let min_length = assert_replayable_and_minimal_length(&spec, forced.netlist(), &report);
+    assert_eq!(min_length, 2, "quiet reset frame, hazard at cycle 1");
+}
+
+/// The late-stall bug (registered outputs lag the hazard by one cycle):
+/// falsified against the combinational-latency functional property with a
+/// minimal two-cycle trace.
+#[test]
+fn bmc_finds_late_stall_with_minimal_counterexample() {
+    let spec = example_spec();
+    let late = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: true,
+            ..Default::default()
+        },
+    );
+    let options = SequentialOptions {
+        latency: Some(Latency::Combinational),
+        ..SequentialOptions::from(Engine::Bmc { k: 4 })
+    };
+    let report = check_netlist_sequential_with(&spec, late.netlist(), &options).unwrap();
+    assert!(report.falsified());
+    let min_length = assert_replayable_and_minimal_length(&spec, late.netlist(), &report);
+    assert_eq!(
+        min_length, 2,
+        "the stall cannot arrive before cycle 1: hazard at 1, flags still answering for quiet 0"
+    );
+}
+
+/// Every `BrokenVariant` synthesized to a netlist is falsified by BMC with a
+/// replayable counterexample (the ISSUE acceptance criterion).
+#[test]
+fn bmc_falsifies_every_broken_variant_with_replayable_traces() {
+    let spec = example_spec();
+    for variant in [
+        BrokenVariant::IgnoreScoreboard,
+        BrokenVariant::IgnoreCompletionGrant,
+        BrokenVariant::BadResetValues { cycles: 2 },
+    ] {
+        let broken = synthesize_broken_interlock(&spec, variant);
+        let report =
+            check_netlist_sequential(&spec, broken.netlist(), Engine::Bmc { k: 6 }).unwrap();
+        assert!(report.falsified(), "{variant:?} must be falsified");
+        let min_length = assert_replayable_and_minimal_length(&spec, broken.netlist(), &report);
+        // All three bugs need one event frame after the quiet reset frame.
+        assert_eq!(min_length, 2, "{variant:?}");
+        // The dropped-stall variants miss stalls (functional violations).
+        if !matches!(variant, BrokenVariant::BadResetValues { .. }) {
+            assert!(
+                report
+                    .counterexamples()
+                    .iter()
+                    .any(|r| matches!(r.property.kind, PropertyKind::Functional)),
+                "{variant:?} must miss a required stall"
+            );
+        }
+    }
+}
+
+/// k-induction proves the synthesized paper-example interlock correct — the
+/// combinational form at combinational latency, the registered form at
+/// registered latency — including deadlock freedom and reset correctness.
+#[test]
+fn k_induction_proves_example_interlocks() {
+    let spec = example_spec();
+
+    let combinational = synthesize_interlock(&spec);
+    let report =
+        check_netlist_sequential(&spec, combinational.netlist(), Engine::Bmc { k: 8 }).unwrap();
+    assert_eq!(report.latency, Latency::Combinational);
+    assert!(report.proved(), "combinational: {:?}", summaries(&report));
+    assert!(report.stall_escape.iter().all(|s| s.escapable));
+
+    let registered = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: true,
+            ..Default::default()
+        },
+    );
+    let report =
+        check_netlist_sequential(&spec, registered.netlist(), Engine::Bmc { k: 8 }).unwrap();
+    assert_eq!(report.latency, Latency::Registered);
+    assert!(report.proved(), "registered: {:?}", summaries(&report));
+    assert!(report.reset.ok());
+}
+
+/// The FirePath-like architecture (24 stages, bit-level scoreboard) is also
+/// proved by k-induction, demonstrating the engine scales past the paper
+/// example.
+#[test]
+fn k_induction_proves_firepath_like_interlock() {
+    let spec = ArchSpec::firepath_like().functional_spec().unwrap();
+    let synthesized = synthesize_interlock(&spec);
+    let options = SequentialOptions {
+        // 24 stages × 2 directions: keep the run lean — no deadlock pass
+        // here (covered by the example-arch test) and a small depth bound;
+        // induction closes at depth 0 for a correct combinational netlist.
+        deadlock: false,
+        prepass_cycles: 50,
+        ..SequentialOptions::from(Engine::Bmc { k: 3 })
+    };
+    let report = check_netlist_sequential_with(&spec, synthesized.netlist(), &options).unwrap();
+    assert_eq!(report.results.len(), 48);
+    assert!(
+        report.results.iter().all(|r| r.outcome.is_proved()),
+        "{:?}",
+        summaries(&report)
+    );
+}
+
+/// The incremental solver makes deep falsification-free runs cheaper than
+/// re-encoding from scratch (the bench quantifies this; here we only assert
+/// both modes agree on verdict and trace length).
+#[test]
+fn incremental_and_scratch_modes_agree() {
+    let spec = example_spec();
+    let late = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: true,
+            ..Default::default()
+        },
+    );
+    let base = SequentialOptions {
+        latency: Some(Latency::Combinational),
+        deadlock: false,
+        prepass_cycles: 0,
+        ..SequentialOptions::from(Engine::Bmc { k: 4 })
+    };
+    let incremental = check_netlist_sequential_with(&spec, late.netlist(), &base).unwrap();
+    let mut scratch_options = base;
+    scratch_options.bmc.incremental = false;
+    let scratch = check_netlist_sequential_with(&spec, late.netlist(), &scratch_options).unwrap();
+    let lengths = |report: &ipcl::checker::SequentialReport| -> Vec<(String, usize)> {
+        let mut v: Vec<(String, usize)> = report
+            .counterexamples()
+            .iter()
+            .map(|r| {
+                (
+                    r.property.name.clone(),
+                    r.outcome.counterexample().unwrap().length(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(lengths(&incremental), lengths(&scratch));
+}
+
+fn summaries(report: &ipcl::checker::SequentialReport) -> Vec<(String, String)> {
+    report
+        .results
+        .iter()
+        .map(|r| {
+            let outcome = match &r.outcome {
+                BmcOutcome::Falsified(cex) => format!("falsified@{}", cex.length()),
+                BmcOutcome::Proved { induction_depth } => format!("proved@k={induction_depth}"),
+                BmcOutcome::Unknown { depth_checked } => format!("unknown@{depth_checked}"),
+            };
+            (r.property.name.clone(), outcome)
+        })
+        .collect()
+}
