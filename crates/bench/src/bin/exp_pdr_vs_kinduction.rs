@@ -1,0 +1,273 @@
+//! Experiment E10: PDR versus k-induction (and the portfolio).
+//!
+//! Two workload families, each swept across sizes:
+//!
+//! * **registered synthetic architectures** — `ArchSpec::synthetic(pipes,
+//!   depth)` with registered `moe` outputs, checked with the combined
+//!   specification at registered latency. Both engines prove these quickly;
+//!   the sweep measures how their encoding/search overheads scale with
+//!   architecture size.
+//! * **deep wait-state chains** — `ipcl_pdr::deep::deep_pipeline(n)`, the
+//!   workload class k-induction cannot decide below the chain depth. The
+//!   k-induction racer is given a bound of `n − 3` frames (so it runs to
+//!   the bound and returns *unknown*), while PDR proves the property
+//!   outright — the claim of ISSUE 2, asserted by this binary.
+//!
+//! Each `(workload, engine)` point also runs with SAT phase saving
+//! disabled, quantifying the satellite optimisation of ISSUE 2 (the
+//! ablation rows have `"phase_saving": false`).
+//!
+//! Emits a JSON array on stdout (one object per point) for the
+//! `BENCH_*.json` trajectory; `--smoke` shrinks the sweep for CI.
+
+use std::time::Instant;
+
+use ipcl_bmc::{check_property, BmcOptions, BmcOutcome, Latency, PropertyKind, SequentialProperty};
+use ipcl_core::{ArchSpec, FunctionalSpec};
+use ipcl_pdr::deep::deep_pipeline;
+use ipcl_pdr::{check_property_pdr, check_property_portfolio, PdrOptions, PdrOutcome};
+use ipcl_rtl::Netlist;
+use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
+
+struct Workload {
+    name: String,
+    spec: FunctionalSpec,
+    netlist: Netlist,
+    property: SequentialProperty,
+    /// Depth bound handed to the k-induction racer.
+    k_bound: usize,
+    /// Whether k-induction is expected to prove the property within the
+    /// bound (deep chains: no).
+    k_inductive: bool,
+}
+
+fn registered_synthetic(pipes: u32, depth: u32) -> Workload {
+    let spec = ArchSpec::synthetic(pipes, depth)
+        .functional_spec()
+        .expect("synthetic architectures are well-formed");
+    let synthesized = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: true,
+            ..Default::default()
+        },
+    );
+    let property =
+        SequentialProperty::for_stage(&spec, 0, PropertyKind::Combined, Latency::Registered);
+    Workload {
+        name: format!("synthetic-{pipes}x{depth}-registered"),
+        spec,
+        netlist: synthesized.netlist().clone(),
+        property,
+        k_bound: 8,
+        k_inductive: true,
+    }
+}
+
+fn deep_chain(depth: usize) -> Workload {
+    let (spec, netlist) = deep_pipeline(depth);
+    let property =
+        SequentialProperty::for_stage(&spec, 0, PropertyKind::Performance, Latency::Combinational);
+    Workload {
+        name: format!("deep-chain-{depth}"),
+        spec,
+        netlist,
+        property,
+        // Stay below the chain depth: k-induction must run to the bound and
+        // give up, which is exactly the cost being measured.
+        k_bound: depth.saturating_sub(3),
+        k_inductive: false,
+    }
+}
+
+fn median_ms(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let repeats = if smoke { 1 } else { 3 };
+
+    let mut workloads = Vec::new();
+    if smoke {
+        for (pipes, depth) in [(1, 3), (2, 3)] {
+            workloads.push(registered_synthetic(pipes, depth));
+        }
+        for depth in [5usize, 8] {
+            workloads.push(deep_chain(depth));
+        }
+    } else {
+        for (pipes, depth) in [(1, 3), (2, 3), (2, 4), (3, 4), (4, 4)] {
+            workloads.push(registered_synthetic(pipes, depth));
+        }
+        for depth in [6usize, 9, 12, 16] {
+            workloads.push(deep_chain(depth));
+        }
+    }
+
+    let mut entries: Vec<String> = Vec::new();
+    for workload in &workloads {
+        for phase_saving in [true, false] {
+            // ---- k-induction.
+            let bmc_options = BmcOptions {
+                max_depth: workload.k_bound,
+                phase_saving,
+                ..Default::default()
+            };
+            let mut times = Vec::new();
+            let mut verdict = String::new();
+            let mut solve_calls = 0usize;
+            let mut conflicts = 0u64;
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let result = check_property(
+                    &workload.spec,
+                    &workload.netlist,
+                    &workload.property,
+                    &bmc_options,
+                )
+                .expect("netlist elaborates");
+                times.push(start.elapsed().as_secs_f64() * 1e3);
+                verdict = match &result.outcome {
+                    BmcOutcome::Proved { induction_depth } => format!("proved@k={induction_depth}"),
+                    BmcOutcome::Falsified(_) => "falsified".to_owned(),
+                    BmcOutcome::Unknown { depth_checked } => format!("unknown@{depth_checked}"),
+                };
+                assert_eq!(
+                    result.outcome.is_proved(),
+                    workload.k_inductive,
+                    "{}: unexpected k-induction verdict {verdict}",
+                    workload.name
+                );
+                solve_calls = result.stats.solve_calls;
+                conflicts = result.stats.conflicts;
+            }
+            entries.push(format!(
+                concat!(
+                    "  {{\"experiment\": \"pdr_vs_kinduction\", \"workload\": \"{}\", ",
+                    "\"engine\": \"kinduction\", \"phase_saving\": {}, \"verdict\": \"{}\", ",
+                    "\"ms\": {:.3}, \"solve_calls\": {}, \"conflicts\": {}}}"
+                ),
+                workload.name,
+                phase_saving,
+                verdict,
+                median_ms(times),
+                solve_calls,
+                conflicts,
+            ));
+
+            // ---- PDR.
+            let pdr_options = PdrOptions {
+                phase_saving,
+                ..Default::default()
+            };
+            let mut times = Vec::new();
+            let mut verdict = String::new();
+            let mut clauses = 0usize;
+            let mut obligations = 0u64;
+            let mut conflicts = 0u64;
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let result = check_property_pdr(
+                    &workload.spec,
+                    &workload.netlist,
+                    &workload.property,
+                    &pdr_options,
+                )
+                .expect("netlist elaborates");
+                times.push(start.elapsed().as_secs_f64() * 1e3);
+                let PdrOutcome::Proved {
+                    certificate,
+                    fixpoint_frame,
+                } = &result.outcome
+                else {
+                    panic!(
+                        "{}: PDR must prove, got {:?}",
+                        workload.name, result.outcome
+                    );
+                };
+                assert!(
+                    result.validation.expect("validation requested").ok(),
+                    "{}: certificate failed validation",
+                    workload.name
+                );
+                verdict = format!(
+                    "proved@F{fixpoint_frame} ({} clauses)",
+                    certificate.clauses.len()
+                );
+                clauses = result.stats.clauses;
+                obligations = result.stats.obligations;
+                conflicts = result.stats.conflicts;
+            }
+            entries.push(format!(
+                concat!(
+                    "  {{\"experiment\": \"pdr_vs_kinduction\", \"workload\": \"{}\", ",
+                    "\"engine\": \"pdr\", \"phase_saving\": {}, \"verdict\": \"{}\", ",
+                    "\"ms\": {:.3}, \"clauses\": {}, \"obligations\": {}, \"conflicts\": {}}}"
+                ),
+                workload.name,
+                phase_saving,
+                verdict,
+                median_ms(times),
+                clauses,
+                obligations,
+                conflicts,
+            ));
+        }
+
+        // ---- Portfolio (default phase saving): the verdict must match the
+        // stronger engine's, and the deep chains must be won by PDR.
+        let bmc_options = BmcOptions {
+            max_depth: workload.k_bound,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let result = check_property_portfolio(
+            &workload.spec,
+            &workload.netlist,
+            &workload.property,
+            &bmc_options,
+            &PdrOptions::default(),
+        )
+        .expect("netlist elaborates");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            result.is_proved(),
+            "{}: the portfolio must prove every correct workload",
+            workload.name
+        );
+        if !workload.k_inductive {
+            assert_eq!(
+                result.winner,
+                Some(ipcl_pdr::PortfolioWinner::Pdr),
+                "{}: only PDR can prove a deep chain",
+                workload.name
+            );
+        }
+        entries.push(format!(
+            concat!(
+                "  {{\"experiment\": \"pdr_vs_kinduction\", \"workload\": \"{}\", ",
+                "\"engine\": \"portfolio\", \"phase_saving\": true, \"verdict\": \"proved\", ",
+                "\"winner\": \"{}\", \"ms\": {:.3}}}"
+            ),
+            workload.name,
+            match result.winner {
+                Some(ipcl_pdr::PortfolioWinner::Bmc) => "kinduction",
+                Some(ipcl_pdr::PortfolioWinner::Pdr) => "pdr",
+                None => "none",
+            },
+            ms,
+        ));
+    }
+
+    println!("[");
+    println!("{}", entries.join(",\n"));
+    println!("]");
+    eprintln!(
+        "{} workloads × (kinduction, pdr) × (phase saving on/off) + portfolio: {} points",
+        workloads.len(),
+        entries.len()
+    );
+}

@@ -26,12 +26,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use ipcl_core::FunctionalSpec;
-use ipcl_expr::{Expr, Lit, VarId};
-use ipcl_rtl::{InitialState, Netlist, RtlError, Unroller};
+use ipcl_expr::{Lit, VarId};
+use ipcl_rtl::{InitialState, Netlist, RtlError};
 use ipcl_sat::{SatResult, Solver};
 
+use crate::encode::{FrameEncoder, SolverSync};
 use crate::property::SequentialProperty;
 use crate::trace::Counterexample;
 
@@ -80,6 +82,10 @@ pub struct BmcOptions {
     pub incremental: bool,
     /// Attempt a k-induction proof after each passed base depth.
     pub induction: bool,
+    /// Phase saving in the CDCL solvers (the default; see
+    /// [`ipcl_sat::Solver::set_phase_saving`]). Off only for the ablation
+    /// experiment.
+    pub phase_saving: bool,
 }
 
 impl Default for BmcOptions {
@@ -89,6 +95,7 @@ impl Default for BmcOptions {
             quiet_cycles: 1,
             incremental: true,
             induction: true,
+            phase_saving: true,
         }
     }
 }
@@ -170,194 +177,33 @@ pub struct BmcResult {
 }
 
 /// One unrolling (reset-rooted or free) plus its incremental solver and the
-/// bookkeeping to push only newly generated clauses.
+/// bookkeeping to push only newly generated clauses. The property/trace
+/// plumbing lives in the shared [`FrameEncoder`] (also used by `ipcl-pdr`).
 struct Run {
-    unroller: Unroller,
+    enc: FrameEncoder,
     solver: Solver,
-    pushed_clauses: usize,
-    /// Auxiliary literals for spec variables the netlist does not implement,
-    /// keyed by `(frame, var)`.
-    aux: BTreeMap<(usize, VarId), Lit>,
-    quiet_cycles: usize,
+    sync: SolverSync,
 }
 
 impl Run {
     fn new(
         netlist: &Netlist,
         initial: InitialState,
-        quiet_cycles: usize,
+        options: &BmcOptions,
     ) -> Result<Self, RtlError> {
-        let unroller = Unroller::new(netlist, initial)?;
+        let enc = FrameEncoder::new(netlist, initial, options.quiet_cycles)?;
+        let mut solver = Solver::new(enc.unroller().cnf().num_vars as usize);
+        solver.set_phase_saving(options.phase_saving);
         Ok(Run {
-            solver: Solver::new(unroller.cnf().num_vars as usize),
-            unroller,
-            pushed_clauses: 0,
-            aux: BTreeMap::new(),
-            quiet_cycles: if initial == InitialState::Reset {
-                quiet_cycles
-            } else {
-                0
-            },
+            enc,
+            solver,
+            sync: SolverSync::default(),
         })
-    }
-
-    /// Appends frames until `frames` exist, forcing quiet-cycle inputs low.
-    fn ensure_frames(&mut self, frames: usize) {
-        while self.unroller.num_frames() < frames {
-            let frame = self.unroller.add_frame();
-            if frame < self.quiet_cycles {
-                for input in self.unroller.netlist().inputs() {
-                    let lit = self.unroller.lit(frame, input);
-                    self.unroller.add_clause([lit.negated()]);
-                }
-            }
-        }
     }
 
     /// Transfers clauses generated since the last sync into the solver.
     fn sync_solver(&mut self) {
-        let clauses = &self.unroller.cnf().clauses;
-        self.solver
-            .reserve_vars(self.unroller.cnf().num_vars as usize);
-        for clause in &clauses[self.pushed_clauses..] {
-            self.solver.add_clause(clause.iter().copied());
-        }
-        self.pushed_clauses = clauses.len();
-    }
-
-    /// The literal of spec variable `var` at `frame`: the netlist signal of
-    /// the same name when it exists, a cached auxiliary literal otherwise.
-    fn var_lit(&mut self, spec: &FunctionalSpec, frame: usize, var: VarId) -> Lit {
-        let name = spec.pool().name_or_fallback(var);
-        if let Some(signal) = self.unroller.netlist().find(&name) {
-            return self.unroller.lit(frame, signal);
-        }
-        if let Some(&lit) = self.aux.get(&(frame, var)) {
-            return lit;
-        }
-        let lit = self.unroller.fresh_lit();
-        // Auxiliary environment variables respect the quiet-cycle constraint
-        // like real inputs.
-        if frame < self.quiet_cycles {
-            self.unroller.add_clause([lit.negated()]);
-        }
-        self.aux.insert((frame, var), lit);
-        lit
-    }
-
-    /// Tseitin-encodes `expr` over the literals of a property instance:
-    /// `moe` variables at `moe_frame`, everything else at `env_frame`.
-    fn encode_expr(
-        &mut self,
-        spec: &FunctionalSpec,
-        moe_vars: &BTreeSet<VarId>,
-        expr: &Expr,
-        env_frame: usize,
-        moe_frame: usize,
-    ) -> Lit {
-        match expr {
-            Expr::Const(true) => self.unroller.const_true(),
-            Expr::Const(false) => self.unroller.const_true().negated(),
-            Expr::Var(var) => {
-                let frame = if moe_vars.contains(var) {
-                    moe_frame
-                } else {
-                    env_frame
-                };
-                self.var_lit(spec, frame, *var)
-            }
-            Expr::Not(e) => self
-                .encode_expr(spec, moe_vars, e, env_frame, moe_frame)
-                .negated(),
-            Expr::And(ops) => {
-                let lits: Vec<Lit> = ops
-                    .iter()
-                    .map(|op| self.encode_expr(spec, moe_vars, op, env_frame, moe_frame))
-                    .collect();
-                self.unroller.define_and(&lits)
-            }
-            Expr::Or(ops) => {
-                let negated: Vec<Lit> = ops
-                    .iter()
-                    .map(|op| {
-                        self.encode_expr(spec, moe_vars, op, env_frame, moe_frame)
-                            .negated()
-                    })
-                    .collect();
-                self.unroller.define_and(&negated).negated()
-            }
-            Expr::Implies(l, r) => {
-                let l = self.encode_expr(spec, moe_vars, l, env_frame, moe_frame);
-                let r = self.encode_expr(spec, moe_vars, r, env_frame, moe_frame);
-                self.unroller.define_and(&[l, r.negated()]).negated()
-            }
-            Expr::Iff(l, r) => {
-                let l = self.encode_expr(spec, moe_vars, l, env_frame, moe_frame);
-                let r = self.encode_expr(spec, moe_vars, r, env_frame, moe_frame);
-                self.unroller.define_xor(l, r).negated()
-            }
-            Expr::Xor(l, r) => {
-                let l = self.encode_expr(spec, moe_vars, l, env_frame, moe_frame);
-                let r = self.encode_expr(spec, moe_vars, r, env_frame, moe_frame);
-                self.unroller.define_xor(l, r)
-            }
-            Expr::Ite(c, t, e) => {
-                let c = self.encode_expr(spec, moe_vars, c, env_frame, moe_frame);
-                let t = self.encode_expr(spec, moe_vars, t, env_frame, moe_frame);
-                let e = self.encode_expr(spec, moe_vars, e, env_frame, moe_frame);
-                self.unroller.define_mux(c, t, e)
-            }
-        }
-    }
-
-    /// Encodes the property instance whose `moe` sample is `moe_frame`,
-    /// returning the literal of `ok` at that instance.
-    fn encode_instance(
-        &mut self,
-        spec: &FunctionalSpec,
-        moe_vars: &BTreeSet<VarId>,
-        property: &SequentialProperty,
-        moe_frame: usize,
-    ) -> Lit {
-        let env_frame = moe_frame - property.latency.offset();
-        self.encode_expr(spec, moe_vars, &property.ok, env_frame, moe_frame)
-    }
-
-    /// Decodes a model into per-frame input valuations.
-    fn decode_trace(
-        &self,
-        spec: &FunctionalSpec,
-        model: &[bool],
-        frames: usize,
-    ) -> Vec<BTreeMap<String, bool>> {
-        let lit_value = |lit: Lit| model[lit.var() as usize] == lit.is_positive();
-        (0..frames)
-            .map(|frame| {
-                let mut values = BTreeMap::new();
-                for input in self.unroller.netlist().inputs() {
-                    let name = self.unroller.netlist().signal(input).name.clone();
-                    values.insert(name, lit_value(self.unroller.lit(frame, input)));
-                }
-                // Environment variables the netlist implements as non-input
-                // signals (wires, registers) must still appear in the trace:
-                // the replay evaluates the property's environment from the
-                // recorded frames, not from the simulator.
-                for var in spec.env_vars() {
-                    let name = spec.pool().name_or_fallback(var);
-                    if let Some(signal) = self.unroller.netlist().find(&name) {
-                        values
-                            .entry(name)
-                            .or_insert_with(|| lit_value(self.unroller.lit(frame, signal)));
-                    }
-                }
-                for (&(aux_frame, var), &lit) in &self.aux {
-                    if aux_frame == frame {
-                        values.insert(spec.pool().name_or_fallback(var), lit_value(lit));
-                    }
-                }
-                values
-            })
-            .collect()
+        self.sync.sync(&self.enc, &mut self.solver);
     }
 }
 
@@ -372,6 +218,23 @@ pub fn missing_moe_signals(spec: &FunctionalSpec, netlist: &Netlist) -> Vec<Stri
                 Some(_) => None,
                 None => Some(name),
             }
+        })
+        .collect()
+}
+
+/// As [`missing_moe_signals`], restricted to the stage one `property` talks
+/// about — the prologue check shared by the BMC and PDR engines.
+pub fn missing_property_signals(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+) -> Vec<String> {
+    spec.stages()
+        .iter()
+        .filter(|stage| stage.stage.prefix() == property.stage)
+        .filter_map(|stage| {
+            let name = spec.pool().name_or_fallback(stage.moe);
+            netlist.find(&name).is_none().then_some(name)
         })
         .collect()
 }
@@ -393,15 +256,21 @@ pub fn check_property(
     property: &SequentialProperty,
     options: &BmcOptions,
 ) -> Result<BmcResult, BmcError> {
-    let missing: Vec<String> = spec
-        .stages()
-        .iter()
-        .filter(|stage| stage.stage.prefix() == property.stage)
-        .filter_map(|stage| {
-            let name = spec.pool().name_or_fallback(stage.moe);
-            netlist.find(&name).is_none().then_some(name)
-        })
-        .collect();
+    check_property_with_cancel(spec, netlist, property, options, None)
+}
+
+/// As [`check_property`], but polls `cancel` between depths and returns the
+/// current [`BmcOutcome::Unknown`] as soon as it is set — the cooperative
+/// cancellation used by `ipcl-pdr`'s portfolio racer to stop the losing
+/// engine once the winner has a verdict.
+pub fn check_property_with_cancel(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    options: &BmcOptions,
+    cancel: Option<&AtomicBool>,
+) -> Result<BmcResult, BmcError> {
+    let missing = missing_property_signals(spec, netlist, property);
     if !missing.is_empty() {
         return Err(BmcError::MissingSignals(missing));
     }
@@ -410,11 +279,7 @@ pub fn check_property(
     let mut stats = BmcStats::default();
 
     let mut base = if options.incremental {
-        Some(Run::new(
-            netlist,
-            InitialState::Reset,
-            options.quiet_cycles,
-        )?)
+        Some(Run::new(netlist, InitialState::Reset, options)?)
     } else {
         None
     };
@@ -424,12 +289,17 @@ pub fn check_property(
 
     let first = property.latency.first_instance();
     for moe_frame in first..=options.max_depth.max(first) {
+        if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            break;
+        }
         stats.depth_reached = moe_frame;
 
         // ---- Base case: a reset-rooted violation at exactly this depth?
         let base_result = if let Some(run) = base.as_mut() {
-            run.ensure_frames(moe_frame + 1);
-            let ok = run.encode_instance(spec, &moe_vars, property, moe_frame);
+            run.enc.ensure_frames(moe_frame + 1);
+            let ok = run
+                .enc
+                .encode_instance(spec, &moe_vars, property, moe_frame);
             run.sync_solver();
             stats.solve_calls += 1;
             let result = run.solver.solve_under_assumptions(&[ok.negated()]);
@@ -437,10 +307,12 @@ pub fn check_property(
             result
         } else {
             // From-scratch mode: fresh unrolling and solver per depth.
-            let mut run = Run::new(netlist, InitialState::Reset, options.quiet_cycles)?;
-            run.ensure_frames(moe_frame + 1);
-            let ok = run.encode_instance(spec, &moe_vars, property, moe_frame);
-            run.unroller.add_clause([ok.negated()]);
+            let mut run = Run::new(netlist, InitialState::Reset, options)?;
+            run.enc.ensure_frames(moe_frame + 1);
+            let ok = run
+                .enc
+                .encode_instance(spec, &moe_vars, property, moe_frame);
+            run.enc.unroller_mut().add_clause([ok.negated()]);
             run.sync_solver();
             stats.solve_calls += 1;
             let result = run.solver.solve();
@@ -455,7 +327,7 @@ pub fn check_property(
 
         if let SatResult::Sat(model) = base_result {
             let run = base.as_ref().expect("sat base run is retained");
-            let frames = run.decode_trace(spec, &model, moe_frame + 1);
+            let frames = run.enc.decode_trace(spec, &model, moe_frame + 1);
             let counterexample = Counterexample {
                 property: property.name.clone(),
                 frames,
@@ -480,21 +352,23 @@ pub fn check_property(
             let run = match induction.as_mut() {
                 Some(run) => run,
                 None => {
-                    induction = Some(Run::new(netlist, InitialState::Free, 0)?);
+                    induction = Some(Run::new(netlist, InitialState::Free, options)?);
                     induction.as_mut().expect("just created")
                 }
             };
             let k = induction_assumed.len();
             let step_frame = first + k;
-            run.ensure_frames(step_frame + 1);
+            run.enc.ensure_frames(step_frame + 1);
             // Loop-free path: the new state must differ from all earlier
             // states (no-op for stateless netlists).
             for earlier in 0..step_frame {
-                if let Some(diff) = run.unroller.state_difference(earlier, step_frame) {
-                    run.unroller.add_clause([diff]);
+                if let Some(diff) = run.enc.unroller_mut().state_difference(earlier, step_frame) {
+                    run.enc.unroller_mut().add_clause([diff]);
                 }
             }
-            let ok = run.encode_instance(spec, &moe_vars, property, step_frame);
+            let ok = run
+                .enc
+                .encode_instance(spec, &moe_vars, property, step_frame);
             run.sync_solver();
             stats.solve_calls += 1;
             let result = run.solver.solve_under_assumptions(&[ok.negated()]);
@@ -513,7 +387,7 @@ pub fn check_property(
                 });
             }
             // The step failed: assume this instance and deepen.
-            run.unroller.add_clause([ok]);
+            run.enc.unroller_mut().add_clause([ok]);
             induction_assumed.push(ok);
         }
     }
@@ -579,12 +453,12 @@ pub fn check_stall_escape(
     // quiet-environment constraints are identical across stages, so only the
     // per-stage "stalled throughout" literals vary — exactly the use case of
     // solving under assumptions (learned clauses carry over between stages).
-    let mut run = Run::new(netlist, InitialState::Free, 0)?;
-    run.ensure_frames(escape_cycles + 1);
+    let mut run = Run::new(netlist, InitialState::Free, &BmcOptions::default())?;
+    run.enc.ensure_frames(escape_cycles + 1);
     for frame in 0..=escape_cycles {
-        for input in run.unroller.netlist().inputs() {
-            let lit = run.unroller.lit(frame, input);
-            run.unroller.add_clause([lit.negated()]);
+        for input in run.enc.unroller().netlist().inputs() {
+            let lit = run.enc.unroller().lit(frame, input);
+            run.enc.unroller_mut().add_clause([lit.negated()]);
         }
     }
     run.sync_solver();
@@ -593,13 +467,14 @@ pub fn check_stall_escape(
     for stage in spec.stages() {
         let name = spec.pool().name_or_fallback(stage.moe);
         let signal = run
-            .unroller
+            .enc
+            .unroller()
             .netlist()
             .find(&name)
             .expect("missing signals checked above");
         // Stalled (¬moe) at every frame of the window.
         let stalled: Vec<Lit> = (0..=escape_cycles)
-            .map(|frame| run.unroller.lit(frame, signal).negated())
+            .map(|frame| run.enc.unroller().lit(frame, signal).negated())
             .collect();
         let report = match run.solver.solve_under_assumptions(&stalled) {
             SatResult::Unsat => StallEscapeReport {
@@ -609,13 +484,15 @@ pub fn check_stall_escape(
             },
             SatResult::Sat(model) => {
                 let lit_value = |lit: Lit| model[lit.var() as usize] == lit.is_positive();
-                let registers = run.unroller.netlist().registers();
-                let stuck = registers
+                let unroller = run.enc.unroller();
+                let stuck = unroller
+                    .netlist()
+                    .registers()
                     .into_iter()
                     .map(|r| {
                         (
-                            run.unroller.netlist().signal(r).name.clone(),
-                            lit_value(run.unroller.lit(0, r)),
+                            unroller.netlist().signal(r).name.clone(),
+                            lit_value(unroller.lit(0, r)),
                         )
                     })
                     .collect();

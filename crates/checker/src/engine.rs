@@ -15,13 +15,22 @@ pub enum Engine {
     /// large, irregular formulas.
     Sat,
     /// SAT-based bounded model checking with k-induction (`ipcl-bmc`), the
-    /// engine of [`crate::sequential::check_netlist_sequential`]. `k` bounds
-    /// the unroll depth. On purely combinational validity queries this
-    /// engine degenerates to [`Engine::Sat`] (a one-frame unrolling).
+    /// default sequential engine of
+    /// [`crate::sequential::check_netlist_sequential`]. `k` bounds the
+    /// unroll depth. On purely combinational validity queries this engine
+    /// degenerates to [`Engine::Sat`] (a one-frame unrolling).
     Bmc {
         /// Maximum number of time frames to unroll.
         k: usize,
     },
+    /// IC3/property-directed reachability (`ipcl-pdr`): unbounded sequential
+    /// proofs with certified inductive invariants — no unrolling depth to
+    /// choose. On combinational queries this degenerates to [`Engine::Sat`].
+    Pdr,
+    /// The portfolio checker (`ipcl-pdr`): BMC falsification racing a PDR
+    /// proof per property, first definitive verdict wins. The most robust
+    /// sequential choice when it is unknown whether the design is buggy.
+    Portfolio,
 }
 
 impl Engine {
@@ -34,6 +43,8 @@ impl Engine {
             Engine::Bdd => "bdd",
             Engine::Sat => "sat",
             Engine::Bmc { .. } => "bmc",
+            Engine::Pdr => "pdr",
+            Engine::Portfolio => "portfolio",
         }
     }
 }
@@ -74,9 +85,9 @@ pub fn check_validity(formula: &Expr, engine: Engine) -> CheckOutcome {
                 Some(model) => CheckOutcome::CounterExample(model),
             }
         }
-        // A combinational query is a one-frame BMC problem: answer it with
-        // the plain SAT path.
-        Engine::Sat | Engine::Bmc { .. } => {
+        // A combinational query is a one-frame BMC/PDR problem: answer it
+        // with the plain SAT path.
+        Engine::Sat | Engine::Bmc { .. } | Engine::Pdr | Engine::Portfolio => {
             let negated = Expr::not(formula.clone());
             let mut encoder = TseitinEncoder::new();
             let root = encoder.encode(&negated);

@@ -40,13 +40,18 @@ pub use implementation::{
 };
 pub use sequential::{
     check_netlist_sequential, check_netlist_sequential_with, check_reset_values,
-    random_falsification, DynamicViolation, ResetReport, SequentialOptions, SequentialReport,
+    random_falsification, DynamicViolation, ProofStrategy, ResetReport, SequentialOptions,
+    SequentialReport, DEFAULT_PREPASS_SEED,
 };
-// The BMC vocabulary types, so callers of the sequential checker need not
-// depend on `ipcl-bmc` directly.
+// The BMC/PDR vocabulary types, so callers of the sequential checker need
+// not depend on `ipcl-bmc` / `ipcl-pdr` directly.
 pub use ipcl_bmc::{
     BmcError, BmcOptions, BmcOutcome, BmcResult, Counterexample, Latency, PropertyKind,
     SequentialProperty, StallEscapeReport,
+};
+pub use ipcl_pdr::{
+    Certificate, CertificateCheck, PdrOptions, PdrOutcome, PdrResult, PortfolioResult,
+    PortfolioWinner, StateLiteral,
 };
 
 #[cfg(test)]

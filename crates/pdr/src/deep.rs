@@ -1,0 +1,98 @@
+//! A family of interlock implementations whose correctness is *not*
+//! k-inductive at any small `k` — the workload PDR exists for.
+//!
+//! [`deep_pipeline`] models the silicon-bound bug territory of the paper's
+//! case study in miniature: a completion chain of `depth` sticky wait-state
+//! bits (think: a scoreboard entry propagating through the stages of a deep
+//! pipe). An event injected at the head marches towards the tail one stage
+//! per cycle, and a stage's `moe` flag is justified by the *head* of the
+//! chain: the implementation asserts "the tail can only be busy if the head
+//! was busy first".
+//!
+//! That claim is true — of every state reachable from reset — but it is not
+//! inductive on its own, and no unrolling shorter than the chain makes it
+//! so: a free (unreachable) state with a lone event in stage 1 takes
+//! `depth − 2` loop-free, assertion-clean cycles to reach the tail and
+//! violate the property, so the k-induction step of `ipcl-bmc` stays
+//! satisfiable for every `k ≤ depth − 2`. PDR instead *discovers* the
+//! strengthening lemmas (stage `i` busy implies stage `i−1` busy) as frame
+//! clauses, closes the trailing sequence and returns them as a validated
+//! inductive-invariant certificate.
+
+use ipcl_core::{FunctionalSpec, FunctionalSpecBuilder, StageRef};
+use ipcl_rtl::Netlist;
+
+/// Builds the deep-chain specification and implementation.
+///
+/// The specification has a single stage `deep.1` with no stall conditions
+/// (the stage never needs to stall), so its performance property is
+/// `¬moe → false` — the `moe` flag must be high in every reachable state.
+/// The implementation computes `moe = ¬(wait[depth−1] ∧ ¬wait[0])` over a
+/// sticky shift chain `wait[0..depth]` fed by the `inject` input.
+///
+/// `depth` is clamped to at least 3 (below that the chain is trivially
+/// inductive).
+pub fn deep_pipeline(depth: usize) -> (FunctionalSpec, Netlist) {
+    let depth = depth.max(3);
+    let mut builder = FunctionalSpecBuilder::new();
+    let stage = StageRef::new("deep", 1);
+    builder
+        .declare_stage(stage.clone())
+        .expect("fresh builder has no duplicate stages");
+    let spec = builder.build().expect("no undeclared moe references");
+    let moe_name = spec
+        .pool()
+        .name_or_fallback(spec.moe_var(&stage).expect("stage declared above"));
+
+    let mut netlist = Netlist::new("deep_chain");
+    let inject = netlist.input("inject");
+    // Sticky chain: wait[0] latches `inject`, wait[i] latches wait[i−1];
+    // every bit stays set once set.
+    let mut chain = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let register = netlist.register(&format!("wait[{i}]"), false);
+        chain.push(register);
+    }
+    for (i, &register) in chain.iter().enumerate() {
+        let feed = if i == 0 { inject } else { chain[i - 1] };
+        let next = netlist.or_gate(&format!("wait_next[{i}]"), [register, feed]);
+        netlist
+            .connect_register(register, next)
+            .expect("freshly created register");
+    }
+    // moe = ¬(tail ∧ ¬head): the tail answers for the head.
+    let head_clear = netlist.not_gate("head_clear", chain[0]);
+    let orphan_tail = netlist.and_gate("orphan_tail", [chain[depth - 1], head_clear]);
+    let moe = netlist.not_gate(&moe_name, orphan_tail);
+    netlist.mark_output(moe);
+
+    (spec, netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_rtl::Simulator;
+
+    #[test]
+    fn chain_shape() {
+        let (spec, netlist) = deep_pipeline(8);
+        assert_eq!(spec.stages().len(), 1);
+        assert_eq!(netlist.registers().len(), 8);
+        assert!(netlist.find("deep.1.moe").is_some());
+    }
+
+    #[test]
+    fn moe_holds_along_reachable_executions() {
+        let (_, netlist) = deep_pipeline(6);
+        let moe = netlist.find("deep.1.moe").unwrap();
+        let inject = netlist.find("inject").unwrap();
+        let mut sim = Simulator::new(&netlist).unwrap();
+        // Idle, then one event marching the full chain, then more events.
+        for cycle in 0..24u32 {
+            sim.set_input(inject, cycle == 3 || cycle >= 15);
+            assert!(sim.value(moe), "moe must hold at cycle {cycle}");
+            sim.step();
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! The IC3 / property-directed reachability engine.
+//!
+//! Where k-induction strengthens a property by brute unrolling depth, PDR
+//! strengthens it clause by clause (Bradley's IC3, in the incremental-SAT
+//! formulation of Eén/Mishchenko/Brayton): a *trailing sequence* of frames
+//! `F_1 ⊇ F_2 ⊇ … ⊇ F_K` over-approximates the states reachable in at most
+//! 1, 2, …, K steps. Whenever a state in `F_K` can violate the property, it
+//! becomes a *proof obligation*: either an initial state can reach it — a
+//! concrete counterexample trace — or a *relative induction* query blocks a
+//! generalisation of it, adding one clause to a frame. When a propagation
+//! pass makes two adjacent frames equal, that frame is an inductive
+//! invariant: the property is proved **for every cycle, with no unrolling
+//! bound**, and the invariant is returned as an explicit
+//! [`Certificate`] that [`Certificate::validate`] re-checks independently.
+//!
+//! ## Encoding
+//!
+//! One two-frame [`FrameEncoder`] unrolling (free initial state) provides
+//! the transition relation: frame-0 registers are the pre-state `s`,
+//! frame-1 registers its successor `s'`. All PDR-specific constraints are
+//! added under *activation literals* so a single incremental
+//! [`ipcl_sat::Solver`] answers every query by assumptions:
+//!
+//! * the reset state, under `act_init` (assumed when the left-hand side of
+//!   a query is `F_0 = Init`);
+//! * each frame clause under its frame's `act[k]` — frames are
+//!   delta-encoded (a clause is stored at the highest frame it holds at),
+//!   so the query "under `F_k`" assumes `act[k..=K]`;
+//! * the negated property under the assumption `¬ok`, sampled over the
+//!   window `[0, latency.offset()]` (so a registered-latency "bad state"
+//!   is a state from which the next `moe` sample answers wrongly for the
+//!   current environment).
+//!
+//! Unlike the BMC base case, PDR has no quiet-cycle discipline: it decides
+//! the property *unconditionally* — over every input sequence from reset —
+//! which is also what the k-induction step case assumes, so the two engines
+//! agree on every design the portfolio races them on.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ipcl_bmc::encode::{FrameEncoder, SolverSync};
+use ipcl_bmc::{BmcError, Counterexample, SequentialProperty};
+use ipcl_core::FunctionalSpec;
+use ipcl_expr::{Lit, VarId};
+use ipcl_rtl::{InitialState, Netlist, SignalId, SignalKind};
+use ipcl_sat::{SatResult, Solver};
+
+use crate::certificate::{Certificate, CertificateCheck, StateLiteral};
+
+/// Knobs of one PDR run.
+#[derive(Clone, Copy, Debug)]
+pub struct PdrOptions {
+    /// Maximum number of frames before giving up with
+    /// [`PdrOutcome::Unknown`]. The state spaces of interlock controllers
+    /// are small, so running out of frames indicates a diverging
+    /// abstraction rather than a hard problem.
+    pub max_frames: usize,
+    /// Generalise blocked cubes by SAT-checked literal dropping (the
+    /// default). `false` blocks the full state cube — kept for the
+    /// ablation benchmark.
+    pub generalize: bool,
+    /// Re-validate the certificate of every proof with independent SAT
+    /// checks (the default; see [`Certificate::validate`]).
+    pub validate_certificate: bool,
+    /// Phase saving in the CDCL solver (the default; see
+    /// [`ipcl_sat::Solver::set_phase_saving`]).
+    pub phase_saving: bool,
+}
+
+impl Default for PdrOptions {
+    fn default() -> Self {
+        PdrOptions {
+            max_frames: 64,
+            generalize: true,
+            validate_certificate: true,
+            phase_saving: true,
+        }
+    }
+}
+
+/// Search statistics of one PDR run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PdrStats {
+    /// Frames opened (the final `K`).
+    pub frames: usize,
+    /// Frame clauses learned (before propagation dedup).
+    pub clauses: usize,
+    /// Proof obligations processed.
+    pub obligations: u64,
+    /// SAT queries issued.
+    pub solve_calls: u64,
+    /// Literals dropped by cube generalisation.
+    pub generalization_drops: u64,
+    /// Conflicts in the underlying CDCL solver.
+    pub conflicts: u64,
+    /// Propagations in the underlying CDCL solver.
+    pub propagations: u64,
+}
+
+/// The verdict of one PDR run.
+#[derive(Clone, Debug)]
+pub enum PdrOutcome {
+    /// The property holds on every cycle; the certificate is the inductive
+    /// invariant that proves it.
+    Proved {
+        /// The invariant (validated iff
+        /// [`PdrOptions::validate_certificate`]; see
+        /// [`PdrResult::validation`]).
+        certificate: Certificate,
+        /// The frame at which the trailing sequence closed.
+        fixpoint_frame: usize,
+    },
+    /// The property fails; the trace is simulator-replayable (but, unlike
+    /// BMC's, not necessarily of minimal length).
+    Falsified(Counterexample),
+    /// Frame budget exhausted or run cancelled.
+    Unknown {
+        /// Frames explored before giving up.
+        frames_explored: usize,
+    },
+}
+
+impl PdrOutcome {
+    /// Whether the outcome is a proof.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, PdrOutcome::Proved { .. })
+    }
+
+    /// Whether the outcome is a falsification.
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, PdrOutcome::Falsified(_))
+    }
+
+    /// The counterexample, if falsified.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            PdrOutcome::Falsified(cex) => Some(cex),
+            _ => None,
+        }
+    }
+
+    /// The certificate, if proved.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            PdrOutcome::Proved { certificate, .. } => Some(certificate),
+            _ => None,
+        }
+    }
+}
+
+/// Result of checking one property with PDR.
+#[derive(Clone, Debug)]
+pub struct PdrResult {
+    /// The property that was checked.
+    pub property: SequentialProperty,
+    /// The verdict.
+    pub outcome: PdrOutcome,
+    /// The independent certificate validation (`Some` exactly when the
+    /// outcome is a proof and validation was requested).
+    pub validation: Option<CertificateCheck>,
+    /// Search statistics.
+    pub stats: PdrStats,
+}
+
+/// A cube over the register state: `(register index, value)` pairs sorted
+/// by index. Trace cubes are total (one entry per register); blocked cubes
+/// shrink under generalisation.
+type Cube = Vec<(usize, bool)>;
+
+/// One entry of the proof-obligation arena. The parent chain reconstructs
+/// counterexample traces: `step_inputs` is the input valuation driving this
+/// obligation's state into its parent's state in one cycle.
+struct Obligation {
+    cube: Cube,
+    parent: Option<usize>,
+    step_inputs: BTreeMap<String, bool>,
+}
+
+enum BlockOutcome {
+    Blocked,
+    Counterexample(Counterexample),
+    Cancelled,
+}
+
+struct Pdr<'a> {
+    spec: &'a FunctionalSpec,
+    property: &'a SequentialProperty,
+    options: PdrOptions,
+    enc: FrameEncoder,
+    solver: Solver,
+    sync: SolverSync,
+    /// The registers (state variables), in [`Netlist::registers`] order.
+    regs: Vec<SignalId>,
+    /// Reset value per register.
+    reg_init: Vec<bool>,
+    /// Frame-0 literal per register (the pre-state `s`).
+    reg0: Vec<Lit>,
+    /// Frame-1 literal per register (the post-state `s'`).
+    reg1: Vec<Lit>,
+    /// Assumption literal of the negated property window.
+    bad: Lit,
+    /// Activation literal of the reset-state constraints (`F_0`).
+    act_init: Lit,
+    /// `act[k]` activates the clauses stored at frame `k` (`act[0]` is a
+    /// placeholder; `F_0` is `act_init`).
+    act: Vec<Lit>,
+    /// Delta-encoded frame clauses: `frame_cubes[k]` holds the cubes whose
+    /// negations are stored at frame `k`.
+    frame_cubes: Vec<Vec<Cube>>,
+    stats: PdrStats,
+}
+
+impl<'a> Pdr<'a> {
+    fn new(
+        spec: &'a FunctionalSpec,
+        netlist: &Netlist,
+        property: &'a SequentialProperty,
+        options: PdrOptions,
+    ) -> Result<Self, BmcError> {
+        let mut enc = FrameEncoder::new(netlist, InitialState::Free, 0)?;
+        // Two frames: the transition `s → s'` and (for registered latency)
+        // the property window.
+        enc.ensure_frames(2);
+        let moe_vars: BTreeSet<VarId> = spec.moe_vars().into_iter().collect();
+        let offset = property.latency.offset();
+        let bad = enc
+            .encode_instance(spec, &moe_vars, property, offset)
+            .negated();
+
+        let regs = enc.unroller().netlist().registers();
+        let reg_init: Vec<bool> = regs
+            .iter()
+            .map(|&r| match enc.unroller().netlist().signal(r).kind {
+                SignalKind::Register { init, .. } => init,
+                _ => unreachable!("registers() yields registers"),
+            })
+            .collect();
+        let reg0: Vec<Lit> = regs.iter().map(|&r| enc.unroller().lit(0, r)).collect();
+        let reg1: Vec<Lit> = regs.iter().map(|&r| enc.unroller().lit(1, r)).collect();
+
+        // F_0 = Init: each register at its reset value, under `act_init`.
+        let act_init = enc.unroller_mut().fresh_lit();
+        for (index, &lit) in reg0.iter().enumerate() {
+            let lit = if reg_init[index] { lit } else { lit.negated() };
+            enc.unroller_mut().add_clause([act_init.negated(), lit]);
+        }
+
+        let placeholder = act_init; // never assumed via `act[0]`
+        let mut solver = Solver::new(enc.unroller().cnf().num_vars as usize);
+        solver.set_phase_saving(options.phase_saving);
+        Ok(Pdr {
+            spec,
+            property,
+            options,
+            enc,
+            solver,
+            sync: SolverSync::default(),
+            regs,
+            reg_init,
+            reg0,
+            reg1,
+            bad,
+            act_init,
+            act: vec![placeholder],
+            frame_cubes: vec![Vec::new()],
+            stats: PdrStats::default(),
+        })
+    }
+
+    /// Number of the top frame.
+    fn top(&self) -> usize {
+        self.act.len() - 1
+    }
+
+    /// Opens frame `K+1` (initially unconstrained).
+    fn push_frame(&mut self) {
+        let act = self.enc.unroller_mut().fresh_lit();
+        self.act.push(act);
+        self.frame_cubes.push(Vec::new());
+    }
+
+    fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.sync.sync(&self.enc, &mut self.solver);
+        self.stats.solve_calls += 1;
+        self.solver.solve_under_assumptions(assumptions)
+    }
+
+    /// Assumptions activating the clauses of `F_k`.
+    fn frame_assumptions(&self, k: usize) -> Vec<Lit> {
+        if k == 0 {
+            vec![self.act_init]
+        } else {
+            self.act[k..].to_vec()
+        }
+    }
+
+    /// The literal of `cube[i]` at frame 0 (`prime = false`) or 1.
+    fn cube_lit(&self, entry: (usize, bool), prime: bool) -> Lit {
+        let (index, value) = entry;
+        let lit = if prime {
+            self.reg1[index]
+        } else {
+            self.reg0[index]
+        };
+        if value {
+            lit
+        } else {
+            lit.negated()
+        }
+    }
+
+    /// The total register cube of a model's frame 0.
+    fn state_cube(&self, model: &[bool]) -> Cube {
+        self.reg0
+            .iter()
+            .enumerate()
+            .map(|(index, lit)| (index, model[lit.var() as usize] == lit.is_positive()))
+            .collect()
+    }
+
+    /// Whether the cube contains the reset state. The reset state is a
+    /// single total assignment, so this is a syntactic check: the cube
+    /// intersects `Init` iff none of its literals disagrees with a reset
+    /// value.
+    fn intersects_init(&self, cube: &Cube) -> bool {
+        cube.iter()
+            .all(|&(index, value)| value == self.reg_init[index])
+    }
+
+    /// Stores the clause `¬cube` at frame `k` and encodes it under `act[k]`.
+    fn add_frame_clause(&mut self, cube: Cube, k: usize) {
+        let mut clause = vec![self.act[k].negated()];
+        clause.extend(
+            cube.iter()
+                .map(|&entry| self.cube_lit(entry, false).negated()),
+        );
+        self.enc.unroller_mut().add_clause(clause);
+        self.frame_cubes[k].push(cube);
+        self.stats.clauses += 1;
+    }
+
+    /// The relative-induction query `F_{k-1} ∧ ¬cube ∧ T ∧ cube'`.
+    ///
+    /// UNSAT means no `F_{k-1}`-state outside the cube reaches the cube in
+    /// one step — together with initiation, the cube is unreachable within
+    /// `k` steps and `¬cube` may join `F_k`. SAT yields a predecessor
+    /// state (a new proof obligation) in the model's frame 0.
+    fn consecution(&mut self, cube: &Cube, k: usize) -> SatResult {
+        // ¬cube over frame 0 is a disjunction: encode it once under a
+        // throw-away activation literal, assume it for this query, then
+        // permanently disable it.
+        let tmp = self.enc.unroller_mut().fresh_lit();
+        let mut clause = vec![tmp.negated()];
+        clause.extend(
+            cube.iter()
+                .map(|&entry| self.cube_lit(entry, false).negated()),
+        );
+        self.enc.unroller_mut().add_clause(clause);
+
+        let mut assumptions = self.frame_assumptions(k - 1);
+        assumptions.push(tmp);
+        assumptions.extend(cube.iter().map(|&entry| self.cube_lit(entry, true)));
+        let result = self.solve(&assumptions);
+        self.enc.unroller_mut().add_clause([tmp.negated()]);
+        result
+    }
+
+    /// Shrinks a blocked cube by literal dropping: each literal whose
+    /// removal keeps both initiation (the cube still excludes the reset
+    /// state) and consecution (the relative-induction query stays UNSAT)
+    /// is dropped, giving a clause that blocks exponentially many states
+    /// instead of one.
+    fn generalize(&mut self, cube: Cube, k: usize) -> Cube {
+        let mut current = cube.clone();
+        for &entry in &cube {
+            if current.len() == 1 {
+                break;
+            }
+            let candidate: Cube = current.iter().copied().filter(|&e| e != entry).collect();
+            if candidate.len() == current.len() {
+                continue; // already dropped
+            }
+            if self.intersects_init(&candidate) {
+                continue; // initiation would break
+            }
+            if self.consecution(&candidate, k) == SatResult::Unsat {
+                self.stats.generalization_drops += 1;
+                current = candidate;
+            }
+        }
+        current
+    }
+
+    /// Whether `cube` is subsumed by a clause already stored at frame ≥ `k`
+    /// (i.e. already excluded from `F_k`). Cubes are sorted by register
+    /// index, so subsumption is a linear merge.
+    fn is_blocked(&self, cube: &Cube, k: usize) -> bool {
+        self.frame_cubes[k..]
+            .iter()
+            .flatten()
+            .any(|blocked| subsumes(blocked, cube))
+    }
+
+    /// Blocks the bad cube at the top frame, recursively discharging the
+    /// proof obligations it spawns. `window` is the decoded input window of
+    /// the bad-state model (the tail of any counterexample trace).
+    fn block(
+        &mut self,
+        root: Cube,
+        window: Vec<BTreeMap<String, bool>>,
+        cancel: Option<&AtomicBool>,
+    ) -> BlockOutcome {
+        let top = self.top();
+        let mut arena: Vec<Obligation> = vec![Obligation {
+            cube: root,
+            parent: None,
+            step_inputs: BTreeMap::new(),
+        }];
+        // Min-heap on (frame, arena index): deepest-from-reset obligations
+        // first, FIFO within a frame.
+        let mut queue: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        queue.push(Reverse((top, 0)));
+
+        while let Some(Reverse((k, index))) = queue.pop() {
+            if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                return BlockOutcome::Cancelled;
+            }
+            self.stats.obligations += 1;
+            if k == 0 {
+                // Defensive: obligations at frame 0 are initial states and
+                // are caught at creation time by the initiation check.
+                return BlockOutcome::Counterexample(self.trace(&arena, index, None, &window));
+            }
+            let cube = arena[index].cube.clone();
+            if self.is_blocked(&cube, k) {
+                // Already excluded from F_k by a stronger clause; keep
+                // pushing the obligation towards the top frame.
+                if k < top {
+                    queue.push(Reverse((k + 1, index)));
+                }
+                continue;
+            }
+            match self.consecution(&cube, k) {
+                SatResult::Unsat => {
+                    let generalized = if self.options.generalize {
+                        self.generalize(cube, k)
+                    } else {
+                        cube
+                    };
+                    self.add_frame_clause(generalized, k);
+                    if k < top {
+                        queue.push(Reverse((k + 1, index)));
+                    }
+                }
+                SatResult::Sat(model) => {
+                    let predecessor = self.state_cube(&model);
+                    let step_inputs = self.enc.decode_frame(self.spec, &model, 0);
+                    if self.intersects_init(&predecessor) {
+                        // The predecessor is the reset state: the obligation
+                        // chain is a concrete trace.
+                        return BlockOutcome::Counterexample(self.trace(
+                            &arena,
+                            index,
+                            Some(step_inputs),
+                            &window,
+                        ));
+                    }
+                    arena.push(Obligation {
+                        cube: predecessor,
+                        parent: Some(index),
+                        step_inputs,
+                    });
+                    queue.push(Reverse((k - 1, arena.len() - 1)));
+                    queue.push(Reverse((k, index)));
+                }
+            }
+        }
+        BlockOutcome::Blocked
+    }
+
+    /// Reconstructs the counterexample trace ending at the obligation
+    /// `index`: `reset_step` (if any) drives the reset state into the
+    /// obligation's state, the parent chain's step inputs walk to the root
+    /// bad state, and `window` is the property window observed there.
+    fn trace(
+        &self,
+        arena: &[Obligation],
+        index: usize,
+        reset_step: Option<BTreeMap<String, bool>>,
+        window: &[BTreeMap<String, bool>],
+    ) -> Counterexample {
+        let mut frames = Vec::new();
+        frames.extend(reset_step);
+        let mut current = index;
+        while let Some(parent) = arena[current].parent {
+            frames.push(arena[current].step_inputs.clone());
+            current = parent;
+        }
+        frames.extend(window.iter().cloned());
+        Counterexample {
+            property: self.property.name.clone(),
+            violation_frame: frames.len() - 1,
+            frames,
+        }
+    }
+
+    /// One clause-propagation pass after opening a new top frame: every
+    /// clause inductive relative to its own frame moves one frame up.
+    /// Returns the fixpoint frame if two adjacent frames became equal.
+    fn propagate(&mut self) -> Option<usize> {
+        let top = self.top();
+        for k in 1..top {
+            let cubes = std::mem::take(&mut self.frame_cubes[k]);
+            for cube in cubes {
+                // F_k ∧ T ∧ cube' unsatisfiable ⇒ ¬cube also holds at k+1.
+                let mut assumptions = self.frame_assumptions(k);
+                assumptions.extend(cube.iter().map(|&entry| self.cube_lit(entry, true)));
+                if self.solve(&assumptions) == SatResult::Unsat {
+                    self.add_frame_clause(cube, k + 1);
+                } else {
+                    self.frame_cubes[k].push(cube);
+                }
+            }
+            if self.frame_cubes[k].is_empty() {
+                // F_k = F_{k+1}: the trailing sequence closed.
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// The invariant at a fixpoint frame `k`: every clause stored at frames
+    /// above `k` (delta encoding: that conjunction *is* `F_{k+1} = F_k`).
+    /// The same cube can be blocked at several frames above the fixpoint,
+    /// so the clause list is deduplicated for the certificate.
+    fn certificate(&self, fixpoint: usize) -> Certificate {
+        let mut cubes: Vec<&Cube> = self.frame_cubes[fixpoint + 1..].iter().flatten().collect();
+        cubes.sort();
+        cubes.dedup();
+        let clauses = cubes
+            .into_iter()
+            .map(|cube| {
+                cube.iter()
+                    .map(|&(index, value)| StateLiteral {
+                        register: self
+                            .enc
+                            .unroller()
+                            .netlist()
+                            .signal(self.regs[index])
+                            .name
+                            .clone(),
+                        positive: !value,
+                    })
+                    .collect()
+            })
+            .collect();
+        Certificate {
+            property: self.property.name.clone(),
+            clauses,
+        }
+    }
+
+    /// Decodes the property window (frames `0..=offset`) of a bad-state
+    /// model.
+    fn window(&self, model: &[bool]) -> Vec<BTreeMap<String, bool>> {
+        (0..=self.property.latency.offset())
+            .map(|frame| self.enc.decode_frame(self.spec, model, frame))
+            .collect()
+    }
+
+    fn run(&mut self, cancel: Option<&AtomicBool>) -> PdrOutcome {
+        // Stateless netlist: the single (empty) state is initial, so the
+        // property is equivalent to the one-window combinational query.
+        if self.regs.is_empty() {
+            let bad = self.bad;
+            return match self.solve(&[bad]) {
+                SatResult::Unsat => PdrOutcome::Proved {
+                    certificate: Certificate {
+                        property: self.property.name.clone(),
+                        clauses: Vec::new(),
+                    },
+                    fixpoint_frame: 0,
+                },
+                SatResult::Sat(model) => {
+                    let frames = self.window(&model);
+                    PdrOutcome::Falsified(Counterexample {
+                        property: self.property.name.clone(),
+                        violation_frame: frames.len() - 1,
+                        frames,
+                    })
+                }
+            };
+        }
+
+        self.push_frame(); // F_1
+        loop {
+            if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                return PdrOutcome::Unknown {
+                    frames_explored: self.top(),
+                };
+            }
+            // Block every bad state reachable within the current bound.
+            loop {
+                let top = self.top();
+                let mut assumptions = self.frame_assumptions(top);
+                assumptions.push(self.bad);
+                match self.solve(&assumptions) {
+                    SatResult::Unsat => break,
+                    SatResult::Sat(model) => {
+                        let cube = self.state_cube(&model);
+                        let window = self.window(&model);
+                        if self.intersects_init(&cube) {
+                            // The reset state itself violates the property.
+                            return PdrOutcome::Falsified(Counterexample {
+                                property: self.property.name.clone(),
+                                violation_frame: window.len() - 1,
+                                frames: window,
+                            });
+                        }
+                        match self.block(cube, window, cancel) {
+                            BlockOutcome::Blocked => {}
+                            BlockOutcome::Counterexample(cex) => return PdrOutcome::Falsified(cex),
+                            BlockOutcome::Cancelled => {
+                                return PdrOutcome::Unknown {
+                                    frames_explored: self.top(),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if self.top() >= self.options.max_frames {
+                return PdrOutcome::Unknown {
+                    frames_explored: self.top(),
+                };
+            }
+            self.push_frame();
+            if let Some(fixpoint) = self.propagate() {
+                return PdrOutcome::Proved {
+                    certificate: self.certificate(fixpoint),
+                    fixpoint_frame: fixpoint,
+                };
+            }
+        }
+    }
+}
+
+/// Whether every literal of `smaller` occurs in `larger` (both sorted by
+/// register index).
+fn subsumes(smaller: &Cube, larger: &Cube) -> bool {
+    let mut it = larger.iter();
+    smaller
+        .iter()
+        .all(|entry| it.by_ref().any(|candidate| candidate == entry))
+}
+
+/// Checks one sequential property on `netlist` against `spec` with IC3/PDR.
+///
+/// See the module docs for the algorithm. A [`PdrOutcome::Proved`] verdict
+/// carries an explicit inductive-invariant [`Certificate`]; with
+/// [`PdrOptions::validate_certificate`] (the default) the certificate has
+/// been re-validated by independent SAT checks and the verdicts are in
+/// [`PdrResult::validation`]. A [`PdrOutcome::Falsified`] trace replays
+/// through [`ipcl_rtl::Simulator`] (callers assert this, as with BMC).
+///
+/// # Errors
+///
+/// As [`ipcl_bmc::check_property`]: [`BmcError::MissingSignals`] if the
+/// property's stage has no `moe` signal in the netlist, [`BmcError::Rtl`]
+/// if the netlist does not elaborate.
+pub fn check_property_pdr(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    options: &PdrOptions,
+) -> Result<PdrResult, BmcError> {
+    check_property_pdr_with_cancel(spec, netlist, property, options, None)
+}
+
+/// As [`check_property_pdr`], but polls `cancel` between queries and
+/// returns [`PdrOutcome::Unknown`] as soon as it is set.
+pub fn check_property_pdr_with_cancel(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    options: &PdrOptions,
+    cancel: Option<&AtomicBool>,
+) -> Result<PdrResult, BmcError> {
+    let missing = ipcl_bmc::missing_property_signals(spec, netlist, property);
+    if !missing.is_empty() {
+        return Err(BmcError::MissingSignals(missing));
+    }
+
+    let mut pdr = Pdr::new(spec, netlist, property, *options)?;
+    let outcome = pdr.run(cancel);
+    let mut stats = pdr.stats;
+    stats.frames = pdr.top();
+    stats.conflicts = pdr.solver.stats().conflicts;
+    stats.propagations = pdr.solver.stats().propagations;
+
+    let validation = match (&outcome, options.validate_certificate) {
+        (PdrOutcome::Proved { certificate, .. }, true) => {
+            Some(certificate.validate(spec, netlist, property)?)
+        }
+        _ => None,
+    };
+
+    Ok(PdrResult {
+        property: property.clone(),
+        outcome,
+        validation,
+        stats,
+    })
+}

@@ -86,6 +86,8 @@ pub struct Solver {
     activity_inc: f64,
     /// Saved phases for phase-saving heuristic.
     phases: Vec<bool>,
+    /// Whether decisions reuse saved phases ([`Solver::set_phase_saving`]).
+    phase_saving: bool,
     /// Trivially unsatisfiable (empty clause present).
     trivially_unsat: bool,
     stats: SolverStats,
@@ -109,6 +111,7 @@ impl Solver {
             activity: vec![0.0; num_vars],
             activity_inc: 1.0,
             phases: vec![false; num_vars],
+            phase_saving: true,
             trivially_unsat: false,
             stats: SolverStats::default(),
         }
@@ -136,6 +139,24 @@ impl Solver {
     /// The number of stored clauses (original plus learned).
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Enables or disables phase saving (on by default).
+    ///
+    /// With phase saving on, a decision variable is assigned the polarity it
+    /// last held, so after a restart or backjump the search re-enters the
+    /// part of the space it was exploring — the standard MiniSat heuristic,
+    /// and a measurable win on the incremental workloads of BMC and PDR
+    /// where consecutive queries differ only in their assumptions (see
+    /// `exp_pdr_vs_kinduction` in EXPERIMENTS.md for the ablation). With it
+    /// off, decisions always try `false` first.
+    pub fn set_phase_saving(&mut self, enabled: bool) {
+        self.phase_saving = enabled;
+    }
+
+    /// Whether phase saving is enabled.
+    pub fn phase_saving(&self) -> bool {
+        self.phase_saving
     }
 
     /// Grows the variable universe to at least `num_vars` variables.
@@ -511,7 +532,7 @@ impl Solver {
                     Some(var) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
-                        let phase = self.phases[var];
+                        let phase = self.phase_saving && self.phases[var];
                         let lit = Lit::new(var as u32, phase);
                         let enqueued = self.enqueue(lit, None);
                         debug_assert!(enqueued, "decision variable was unassigned");
@@ -826,6 +847,51 @@ mod tests {
         assert!(solver
             .solve_under_assumptions(&[lit(0, true), lit(2, true)])
             .is_sat());
+    }
+
+    #[test]
+    fn phase_saving_toggle_preserves_verdicts() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(0x9A5E);
+        for _ in 0..60 {
+            let num_vars = rng.random_range(1..=7u32);
+            let num_clauses = rng.random_range(1..=20usize);
+            let mut cnf = Cnf::new(num_vars);
+            for _ in 0..num_clauses {
+                let width = rng.random_range(1..=3usize);
+                let clause: Vec<Lit> = (0..width)
+                    .map(|_| lit(rng.random_range(0..num_vars), rng.random_bool(0.5)))
+                    .collect();
+                cnf.add_clause(clause);
+            }
+            let mut saved = Solver::from_cnf(&cnf);
+            assert!(saved.phase_saving());
+            let mut fixed = Solver::from_cnf(&cnf);
+            fixed.set_phase_saving(false);
+            assert_eq!(saved.solve().is_sat(), fixed.solve().is_sat());
+        }
+    }
+
+    #[test]
+    fn phase_saving_revisits_last_polarity() {
+        // Assuming an otherwise-unconstrained variable true records its
+        // phase; with phase saving on the next unassumed solve re-decides it
+        // true, with phase saving off it falls back to the `false` default.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert!(solver.solve_under_assumptions(&[lit(1, true)]).is_sat());
+        match solver.solve() {
+            SatResult::Sat(model) => assert!(model[1], "saved phase is reused"),
+            SatResult::Unsat => panic!("expected sat"),
+        }
+        solver.set_phase_saving(false);
+        match solver.solve() {
+            SatResult::Sat(model) => assert!(!model[1], "default polarity is false"),
+            SatResult::Unsat => panic!("expected sat"),
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`synth`] | `ipcl-synth` | interlock RTL synthesis from the specification |
 //! | [`checker`] | `ipcl-checker` | BDD/SAT property checking and reset checks |
 //! | [`bmc`] | `ipcl-bmc` | bounded model checking and k-induction over netlists |
+//! | [`pdr`] | `ipcl-pdr` | IC3/PDR with certified invariants and the BMC/PDR portfolio |
 //!
 //! # Quick start
 //!
@@ -46,6 +47,7 @@ pub use ipcl_bmc as bmc;
 pub use ipcl_checker as checker;
 pub use ipcl_core as core;
 pub use ipcl_expr as expr;
+pub use ipcl_pdr as pdr;
 pub use ipcl_pipesim as pipesim;
 pub use ipcl_rtl as rtl;
 pub use ipcl_sat as sat;
