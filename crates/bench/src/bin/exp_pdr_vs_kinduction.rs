@@ -110,10 +110,14 @@ fn main() {
     let mut entries: Vec<String> = Vec::new();
     for workload in &workloads {
         for phase_saving in [true, false] {
+            let solver = ipcl_sat::SolverConfig {
+                phase_saving,
+                ..Default::default()
+            };
             // ---- k-induction.
             let bmc_options = BmcOptions {
                 max_depth: workload.k_bound,
-                phase_saving,
+                solver,
                 ..Default::default()
             };
             let mut times = Vec::new();
@@ -160,7 +164,7 @@ fn main() {
 
             // ---- PDR.
             let pdr_options = PdrOptions {
-                phase_saving,
+                solver,
                 ..Default::default()
             };
             let mut times = Vec::new();

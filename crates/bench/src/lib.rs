@@ -7,8 +7,28 @@
 
 use ipcl_core::fixpoint::derive_symbolic;
 use ipcl_core::{ArchSpec, FunctionalSpec};
-use ipcl_expr::Expr;
+use ipcl_expr::{Cnf, Expr, Lit};
 use ipcl_pipesim::{Machine, SimStats, WorkloadConfig};
+
+/// The pigeonhole principle `PHP(n, n−1)` as CNF: `n` pigeons into `n − 1`
+/// holes, unsatisfiable, and exponentially hard for resolution — the
+/// classic pure-CDCL stress instance of the E11 solver experiment.
+pub fn pigeonhole_cnf(pigeons: u32) -> Cnf {
+    let holes = pigeons - 1;
+    let var = |i: u32, j: u32| i * holes + j;
+    let mut cnf = Cnf::new(pigeons * holes);
+    for i in 0..pigeons {
+        cnf.add_clause((0..holes).map(|j| Lit::positive(var(i, j))));
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                cnf.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+            }
+        }
+    }
+    cnf
+}
 
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {

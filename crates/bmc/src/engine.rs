@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use ipcl_core::FunctionalSpec;
 use ipcl_expr::{Lit, VarId};
 use ipcl_rtl::{InitialState, Netlist, RtlError};
-use ipcl_sat::{SatResult, Solver};
+use ipcl_sat::{SatResult, Solver, SolverConfig};
 
 use crate::encode::{FrameEncoder, SolverSync};
 use crate::property::SequentialProperty;
@@ -82,10 +82,12 @@ pub struct BmcOptions {
     pub incremental: bool,
     /// Attempt a k-induction proof after each passed base depth.
     pub induction: bool,
-    /// Phase saving in the CDCL solvers (the default; see
-    /// [`ipcl_sat::Solver::set_phase_saving`]). Off only for the ablation
-    /// experiment.
-    pub phase_saving: bool,
+    /// Heuristic configuration of the CDCL solvers (heap decisions,
+    /// clause minimization, database reduction, restarts, phase saving —
+    /// see [`ipcl_sat::SolverConfig`]). Defaults to the optimized
+    /// configuration; [`ipcl_sat::SolverConfig::baseline`] reproduces the
+    /// pre-optimization solver for the `exp_solver_opts` ablation.
+    pub solver: SolverConfig,
 }
 
 impl Default for BmcOptions {
@@ -95,7 +97,7 @@ impl Default for BmcOptions {
             quiet_cycles: 1,
             incremental: true,
             induction: true,
-            phase_saving: true,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -192,8 +194,7 @@ impl Run {
         options: &BmcOptions,
     ) -> Result<Self, RtlError> {
         let enc = FrameEncoder::new(netlist, initial, options.quiet_cycles)?;
-        let mut solver = Solver::new(enc.unroller().cnf().num_vars as usize);
-        solver.set_phase_saving(options.phase_saving);
+        let solver = Solver::with_config(enc.unroller().cnf().num_vars as usize, options.solver);
         Ok(Run {
             enc,
             solver,

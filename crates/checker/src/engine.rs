@@ -86,12 +86,12 @@ pub fn check_validity(formula: &Expr, engine: Engine) -> CheckOutcome {
             }
         }
         // A combinational query is a one-frame BMC/PDR problem: answer it
-        // with the plain SAT path.
+        // with the plain SAT path (Plaisted–Greenbaum encoding of the
+        // negation — the refutation only ever asserts the root positively).
         Engine::Sat | Engine::Bmc { .. } | Engine::Pdr | Engine::Portfolio => {
             let negated = Expr::not(formula.clone());
             let mut encoder = TseitinEncoder::new();
-            let root = encoder.encode(&negated);
-            encoder.assert_literal(root);
+            encoder.assert_expr(&negated);
             let var_map = encoder.var_map().clone();
             let mut solver = Solver::from_cnf(encoder.cnf());
             match solver.solve() {

@@ -206,9 +206,12 @@ pub struct SequentialOptions {
     /// caveat on [`ProofStrategy`]: only [`ProofStrategy::KInduction`]
     /// honours [`BmcOptions::quiet_cycles`].
     pub strategy: ProofStrategy,
-    /// BMC / k-induction knobs (depth bound, quiet cycles, incrementality).
+    /// BMC / k-induction knobs (depth bound, quiet cycles, incrementality,
+    /// and the CDCL heuristics via [`BmcOptions::solver`] — heap decisions,
+    /// clause minimization, database reduction, restarts, phase saving).
     pub bmc: BmcOptions,
-    /// PDR knobs (frame budget, generalisation, certificate validation).
+    /// PDR knobs (frame budget, generalisation, certificate validation,
+    /// and the CDCL heuristics via [`PdrOptions::solver`]).
     pub pdr: PdrOptions,
     /// Property latency. `None` auto-detects from the netlist
     /// ([`Latency::Registered`] when the `moe` outputs are registers).

@@ -5,9 +5,11 @@
 //! the *negation* of the query with [`TseitinEncoder`] and checking
 //! unsatisfiability.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::expr::Expr;
+use crate::polarity::Polarity;
 use crate::vars::VarId;
 
 /// A literal: a CNF variable index with a sign.
@@ -151,8 +153,74 @@ impl Cnf {
     }
 }
 
+/// Needed encoding directions of a gate, as a bitmask: [`POS`] are the
+/// `g → f` clauses (sound where the subformula occurs positively),
+/// [`NEG`] the `f → g` clauses (negative occurrences).
+const POS: u8 = 0b01;
+const NEG: u8 = 0b10;
+const BOTH: u8 = POS | NEG;
+
+fn flip(need: u8) -> u8 {
+    ((need & POS) << 1) | ((need & NEG) >> 1)
+}
+
+fn polarity_mask(polarity: Polarity) -> u8 {
+    match polarity {
+        Polarity::Positive => POS,
+        Polarity::Negative => NEG,
+        Polarity::Mixed => BOTH,
+    }
+}
+
+/// A hash-consed gate: its definition literal and the directions whose
+/// clauses have been emitted so far.
+#[derive(Clone, Copy, Debug)]
+struct GateEntry {
+    lit: Lit,
+    emitted: u8,
+}
+
+/// Cache key of a gate: its connective over the *already-encoded child
+/// literals* (bottom-up hash-consing). Keying on child literals instead
+/// of on subexpression trees keeps every cache probe O(arity) — no deep
+/// clones, no repeated subtree hashing — and shares gates even across
+/// structurally different spellings that encode to the same operands
+/// (associativity-flattened or reordered conjunctions, say).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum GateKey {
+    Const(bool),
+    /// Sorted, deduplicated operands.
+    And(Vec<Lit>),
+    /// Sorted, deduplicated operands.
+    Or(Vec<Lit>),
+    Implies(Lit, Lit),
+    /// Operands normalized by literal order (commutative).
+    Iff(Lit, Lit),
+    /// Operands normalized by literal order (commutative).
+    Xor(Lit, Lit),
+    Ite(Lit, Lit, Lit),
+}
+
 /// Tseitin encoder translating [`Expr`]s into [`Cnf`] with a stable mapping
 /// from specification variables to CNF variables.
+///
+/// The encoder performs **structural hashing**: every distinct subterm is
+/// encoded once and shared (a hash-consed subterm → literal cache), so
+/// repeated subformulas — ubiquitous in interlock specifications, where the
+/// same stall conditions appear in several rules — cost no duplicate
+/// definitional clauses.
+///
+/// Two encoding disciplines are offered:
+///
+/// * [`TseitinEncoder::encode`] emits the full biconditional definition of
+///   every gate, so the returned literal may be used with either sign;
+/// * [`TseitinEncoder::encode_with_polarity`] /
+///   [`TseitinEncoder::assert_expr`] perform the polarity-aware
+///   **Plaisted–Greenbaum** encoding, emitting only the implication
+///   direction each occurrence needs (per the same occurrence-polarity
+///   notion as [`crate::polarity`]) — roughly half the definitional
+///   clauses for and/or-heavy formulas, equisatisfiable as long as the
+///   returned literal is only used with the declared polarity.
 ///
 /// # Example
 ///
@@ -172,6 +240,9 @@ impl Cnf {
 pub struct TseitinEncoder {
     cnf: Cnf,
     var_map: std::collections::BTreeMap<VarId, u32>,
+    /// Hash-consed gate cache, keyed on connective + child literals
+    /// (gate nodes and constants only; variables go through `var_map`).
+    cache: HashMap<GateKey, GateEntry>,
 }
 
 impl TseitinEncoder {
@@ -197,53 +268,30 @@ impl TseitinEncoder {
     }
 
     /// Encodes `expr`, returning the literal that is true iff the expression
-    /// is true. Clauses defining intermediate gates are added to the formula.
+    /// is true. Clauses defining intermediate gates are added to the formula;
+    /// structurally identical subterms share one definition. The literal
+    /// carries the full biconditional definition, so it may be asserted,
+    /// negated or assumed freely.
     pub fn encode(&mut self, expr: &Expr) -> Lit {
-        match expr {
-            Expr::Const(b) => {
-                // A fresh variable constrained to the constant value; the
-                // positive literal of that variable then *is* the constant.
-                let v = self.cnf.fresh_var();
-                self.cnf.add_clause([Lit::new(v, *b)]);
-                Lit::positive(v)
-            }
-            Expr::Var(v) => Lit::positive(self.cnf_var(*v)),
-            Expr::Not(e) => self.encode(e).negated(),
-            Expr::And(ops) => {
-                let lits: Vec<Lit> = ops.iter().map(|op| self.encode(op)).collect();
-                self.define_and(&lits)
-            }
-            Expr::Or(ops) => {
-                let lits: Vec<Lit> = ops.iter().map(|op| self.encode(op)).collect();
-                self.define_and(&lits.iter().map(|l| l.negated()).collect::<Vec<_>>())
-                    .negated()
-            }
-            Expr::Implies(l, r) => {
-                let l = self.encode(l);
-                let r = self.encode(r);
-                // l -> r  ==  !(l & !r)
-                self.define_and(&[l, r.negated()]).negated()
-            }
-            Expr::Iff(l, r) => {
-                let l = self.encode(l);
-                let r = self.encode(r);
-                self.define_iff(l, r)
-            }
-            Expr::Xor(l, r) => {
-                let l = self.encode(l);
-                let r = self.encode(r);
-                self.define_iff(l, r).negated()
-            }
-            Expr::Ite(c, t, e) => {
-                let c = self.encode(c);
-                let t = self.encode(t);
-                let e = self.encode(e);
-                // ite(c,t,e) == (c & t) | (!c & e)
-                let ct = self.define_and(&[c, t]);
-                let ce = self.define_and(&[c.negated(), e]);
-                self.define_and(&[ct.negated(), ce.negated()]).negated()
-            }
-        }
+        self.ensure(expr, BOTH)
+    }
+
+    /// Plaisted–Greenbaum: encodes `expr` for occurrences of the given
+    /// `polarity` only. The returned literal is sound *only* under that
+    /// polarity — e.g. after `encode_with_polarity(e, Polarity::Positive)`
+    /// the literal may be asserted or assumed true (forcing `e`), but its
+    /// negation is unconstrained. Use [`Polarity::Mixed`] (or
+    /// [`TseitinEncoder::encode`]) when both signs are needed.
+    pub fn encode_with_polarity(&mut self, expr: &Expr, polarity: Polarity) -> Lit {
+        self.ensure(expr, polarity_mask(polarity))
+    }
+
+    /// Asserts `expr` with the positive-polarity Plaisted–Greenbaum
+    /// encoding: the standard satisfiability query, at roughly half the
+    /// definitional clauses of the full Tseitin encoding.
+    pub fn assert_expr(&mut self, expr: &Expr) {
+        let root = self.encode_with_polarity(expr, Polarity::Positive);
+        self.assert_literal(root);
     }
 
     /// Adds a unit clause forcing `lit` to be true.
@@ -261,37 +309,161 @@ impl TseitinEncoder {
         &self.cnf
     }
 
-    /// Defines a fresh gate `g <-> AND(lits)` and returns the literal `g`.
-    fn define_and(&mut self, lits: &[Lit]) -> Lit {
-        if lits.is_empty() {
-            // Empty conjunction is true: a fresh variable forced to 1.
-            let v = self.cnf.fresh_var();
-            self.cnf.add_clause([Lit::positive(v)]);
-            return Lit::positive(v);
+    /// The shared literal of the constant `b` (a variable forced to that
+    /// value by one unit clause, valid in both directions).
+    fn constant(&mut self, b: bool) -> Lit {
+        let key = GateKey::Const(b);
+        if let Some(entry) = self.cache.get(&key) {
+            return entry.lit;
         }
-        if lits.len() == 1 {
-            return lits[0];
-        }
-        let g = Lit::positive(self.cnf.fresh_var());
-        // g -> each literal
-        for &lit in lits {
-            self.cnf.add_clause([g.negated(), lit]);
-        }
-        // all literals -> g
-        let mut clause: Clause = lits.iter().map(|l| l.negated()).collect();
-        clause.push(g);
-        self.cnf.add_clause(clause);
-        g
+        let lit = Lit::positive(self.cnf.fresh_var());
+        self.cnf.add_clause([Lit::new(lit.var(), b)]);
+        self.cache.insert(key, GateEntry { lit, emitted: BOTH });
+        lit
     }
 
-    /// Defines a fresh gate `g <-> (a <-> b)` and returns `g`.
-    fn define_iff(&mut self, a: Lit, b: Lit) -> Lit {
-        let g = Lit::positive(self.cnf.fresh_var());
-        self.cnf.add_clause([g.negated(), a.negated(), b]);
-        self.cnf.add_clause([g.negated(), a, b.negated()]);
-        self.cnf.add_clause([g, a, b]);
-        self.cnf.add_clause([g, a.negated(), b.negated()]);
-        g
+    /// Looks up (or allocates) the gate of `key`, returning its literal
+    /// and the subset of `need` whose clauses still have to be emitted.
+    fn gate(&mut self, key: GateKey, need: u8) -> (Lit, u8) {
+        match self.cache.get_mut(&key) {
+            Some(entry) => {
+                let missing = need & !entry.emitted;
+                entry.emitted |= missing;
+                (entry.lit, missing)
+            }
+            None => {
+                let lit = Lit::positive(self.cnf.fresh_var());
+                self.cache.insert(key, GateEntry { lit, emitted: need });
+                (lit, need)
+            }
+        }
+    }
+
+    /// Encodes `expr` bottom-up: children first, then the gate keyed on
+    /// their literals, emitting the clauses of any still-missing
+    /// direction in `need`. Children are encoded with the polarity their
+    /// occurrence position demands (same for and/or/ite branches, flipped
+    /// under negation and implication antecedents, both for iff/xor and
+    /// ite conditions); when the gate itself is fully cached the child
+    /// walk is a pure cache-hit traversal.
+    fn ensure(&mut self, expr: &Expr, need: u8) -> Lit {
+        match expr {
+            Expr::Var(v) => Lit::positive(self.cnf_var(*v)),
+            Expr::Not(e) => self.ensure(e, flip(need)).negated(),
+            Expr::Const(b) => self.constant(*b),
+            Expr::And(ops) => {
+                let mut lits: Vec<Lit> = ops.iter().map(|op| self.ensure(op, need)).collect();
+                lits.sort_unstable();
+                lits.dedup();
+                match lits.len() {
+                    0 => self.constant(true),
+                    1 => lits[0],
+                    _ => {
+                        let (g, missing) = self.gate(GateKey::And(lits.clone()), need);
+                        if missing & POS != 0 {
+                            // g → each operand.
+                            for &lit in &lits {
+                                self.cnf.add_clause([g.negated(), lit]);
+                            }
+                        }
+                        if missing & NEG != 0 {
+                            // All operands → g.
+                            let mut clause: Clause = lits.iter().map(|l| l.negated()).collect();
+                            clause.push(g);
+                            self.cnf.add_clause(clause);
+                        }
+                        g
+                    }
+                }
+            }
+            Expr::Or(ops) => {
+                let mut lits: Vec<Lit> = ops.iter().map(|op| self.ensure(op, need)).collect();
+                lits.sort_unstable();
+                lits.dedup();
+                match lits.len() {
+                    0 => self.constant(false),
+                    1 => lits[0],
+                    _ => {
+                        let (g, missing) = self.gate(GateKey::Or(lits.clone()), need);
+                        if missing & POS != 0 {
+                            // g → some operand.
+                            let mut clause: Clause = lits.clone();
+                            clause.insert(0, g.negated());
+                            self.cnf.add_clause(clause);
+                        }
+                        if missing & NEG != 0 {
+                            // Each operand → g.
+                            for &lit in &lits {
+                                self.cnf.add_clause([lit.negated(), g]);
+                            }
+                        }
+                        g
+                    }
+                }
+            }
+            Expr::Implies(l, r) => {
+                let l = self.ensure(l, flip(need));
+                let r = self.ensure(r, need);
+                let (g, missing) = self.gate(GateKey::Implies(l, r), need);
+                if missing & POS != 0 {
+                    self.cnf.add_clause([g.negated(), l.negated(), r]);
+                }
+                if missing & NEG != 0 {
+                    self.cnf.add_clause([g, l]);
+                    self.cnf.add_clause([g, r.negated()]);
+                }
+                g
+            }
+            Expr::Iff(l, r) => {
+                let mut a = self.ensure(l, BOTH);
+                let mut b = self.ensure(r, BOTH);
+                if b < a {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let (g, missing) = self.gate(GateKey::Iff(a, b), need);
+                if missing & POS != 0 {
+                    self.cnf.add_clause([g.negated(), a.negated(), b]);
+                    self.cnf.add_clause([g.negated(), a, b.negated()]);
+                }
+                if missing & NEG != 0 {
+                    self.cnf.add_clause([g, a, b]);
+                    self.cnf.add_clause([g, a.negated(), b.negated()]);
+                }
+                g
+            }
+            Expr::Xor(l, r) => {
+                let mut a = self.ensure(l, BOTH);
+                let mut b = self.ensure(r, BOTH);
+                if b < a {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let (g, missing) = self.gate(GateKey::Xor(a, b), need);
+                if missing & POS != 0 {
+                    self.cnf.add_clause([g.negated(), a, b]);
+                    self.cnf.add_clause([g.negated(), a.negated(), b.negated()]);
+                }
+                if missing & NEG != 0 {
+                    self.cnf.add_clause([g, a.negated(), b]);
+                    self.cnf.add_clause([g, a, b.negated()]);
+                }
+                g
+            }
+            Expr::Ite(c, t, e) => {
+                let c = self.ensure(c, BOTH);
+                let t = self.ensure(t, need);
+                let e = self.ensure(e, need);
+                let (g, missing) = self.gate(GateKey::Ite(c, t, e), need);
+                if missing & POS != 0 {
+                    self.cnf.add_clause([g.negated(), c.negated(), t]);
+                    self.cnf.add_clause([g.negated(), c, e]);
+                }
+                if missing & NEG != 0 {
+                    self.cnf.add_clause([g, c.negated(), t.negated()]);
+                    self.cnf.add_clause([g, c, e.negated()]);
+                }
+                g
+            }
+        }
     }
 }
 
@@ -432,5 +604,137 @@ mod tests {
         let mut enc = TseitinEncoder::new();
         enc.encode(&e);
         assert_eq!(enc.var_map().len(), 2);
+    }
+
+    #[test]
+    fn structural_hashing_shares_repeated_subterms() {
+        let mut pool = VarPool::new();
+        // The conjunction appears on both sides of the implication: one gate.
+        let e = parse_expr("(a & b) -> (a & b) & c", &mut pool).unwrap();
+        let mut enc = TseitinEncoder::new();
+        let first = enc.encode(&e);
+        let clauses = enc.cnf().len();
+        let vars = enc.cnf().num_vars;
+        // Re-encoding is free: same literal, no new clauses or variables.
+        let second = enc.encode(&e);
+        assert_eq!(first, second);
+        assert_eq!(enc.cnf().len(), clauses);
+        assert_eq!(enc.cnf().num_vars, vars);
+
+        // Without sharing, `a & b` would be defined twice; with it, one
+        // `a & b` gate, one `(a & b) & c` gate, one implication gate.
+        let shared = parse_expr("(a & b) -> (a & b)", &mut pool).unwrap();
+        let mut enc = TseitinEncoder::new();
+        enc.encode(&shared);
+        let num_gates = enc.cnf().num_vars - 2; // minus the two variables
+        assert_eq!(num_gates, 2, "a & b must be hash-consed");
+    }
+
+    /// Brute-force satisfiability of a CNF (for the small test formulas).
+    fn cnf_satisfiable(cnf: &Cnf) -> bool {
+        assert!(cnf.num_vars <= 22, "too many variables for brute force");
+        (0u64..(1 << cnf.num_vars)).any(|mask| cnf.eval(|v| mask & (1 << v) != 0))
+    }
+
+    /// The Plaisted–Greenbaum encoding (root asserted positively) and the
+    /// full Tseitin encoding must be equisatisfiable, and PG must never
+    /// emit more clauses.
+    fn check_pg_equisatisfiable(expr: &Expr) {
+        let mut full = TseitinEncoder::new();
+        let root = full.encode(expr);
+        full.assert_literal(root);
+        let full = full.into_cnf();
+
+        let mut pg = TseitinEncoder::new();
+        pg.assert_expr(expr);
+        let pg = pg.into_cnf();
+
+        assert!(
+            pg.len() <= full.len(),
+            "PG emitted more clauses ({}) than full Tseitin ({}) for {expr:?}",
+            pg.len(),
+            full.len()
+        );
+        assert_eq!(
+            cnf_satisfiable(&full),
+            cnf_satisfiable(&pg),
+            "PG and full Tseitin disagree on {expr:?}"
+        );
+    }
+
+    #[test]
+    fn plaisted_greenbaum_equisatisfiable_small_formulas() {
+        let mut pool = VarPool::new();
+        for text in [
+            "a",
+            "!a",
+            "a & b",
+            "a | b",
+            "a -> b",
+            "a <-> b",
+            "a ^ b",
+            "if a then b else c",
+            "a & !a",
+            "(a | b) & (!a | c)",
+            "a & b -> !c | a",
+            "!(a & b) | !(a | b)",
+            "((a -> b) -> a) -> a",
+            "!(if a ^ b then a <-> c else !(b | c))",
+        ] {
+            let expr = parse_expr(text, &mut pool).unwrap();
+            check_pg_equisatisfiable(&expr);
+        }
+    }
+
+    /// A deterministic random expression over `vars` variables.
+    fn random_expr(rng: &mut impl rand::Rng, vars: u32, depth: u32) -> Expr {
+        if depth == 0 || rng.random_range(0..6) == 0 {
+            let v = VarId(rng.random_range(0..vars));
+            return if rng.random_bool(0.5) {
+                Expr::Var(v)
+            } else {
+                Expr::Not(Expr::Var(v).into())
+            };
+        }
+        let sub = |rng: &mut _| random_expr(rng, vars, depth - 1);
+        match rng.random_range(0..7) {
+            0 => Expr::And(vec![sub(rng), sub(rng)]),
+            1 => Expr::Or(vec![sub(rng), sub(rng)]),
+            2 => Expr::Implies(sub(rng).into(), sub(rng).into()),
+            3 => Expr::Iff(sub(rng).into(), sub(rng).into()),
+            4 => Expr::Xor(sub(rng).into(), sub(rng).into()),
+            5 => Expr::Ite(sub(rng).into(), sub(rng).into(), sub(rng).into()),
+            _ => Expr::Not(sub(rng).into()),
+        }
+    }
+
+    #[test]
+    fn plaisted_greenbaum_equisatisfiable_random_formulas() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(0x7E17);
+        for _ in 0..150 {
+            let expr = random_expr(&mut rng, 4, 3);
+            check_pg_equisatisfiable(&expr);
+        }
+    }
+
+    #[test]
+    fn polarity_negative_encoding_supports_refutation() {
+        // Encoding with Negative polarity constrains the f → g direction:
+        // asserting ¬g then forces ¬f, the shape of a validity query.
+        let mut pool = VarPool::new();
+        let tautology = parse_expr("a | !a", &mut pool).unwrap();
+        let mut enc = TseitinEncoder::new();
+        let root = enc.encode_with_polarity(&tautology, Polarity::Negative);
+        enc.assert_literal(root.negated());
+        assert!(!cnf_satisfiable(enc.cnf()), "¬(a | !a) must be unsat");
+
+        let satisfiable = parse_expr("a & b", &mut pool).unwrap();
+        let mut enc = TseitinEncoder::new();
+        let root = enc.encode_with_polarity(&satisfiable, Polarity::Negative);
+        enc.assert_literal(root.negated());
+        assert!(cnf_satisfiable(enc.cnf()), "¬(a & b) must be sat");
     }
 }

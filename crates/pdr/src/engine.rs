@@ -45,7 +45,7 @@ use ipcl_bmc::{BmcError, Counterexample, SequentialProperty};
 use ipcl_core::FunctionalSpec;
 use ipcl_expr::{Lit, VarId};
 use ipcl_rtl::{InitialState, Netlist, SignalId, SignalKind};
-use ipcl_sat::{SatResult, Solver};
+use ipcl_sat::{SatResult, Solver, SolverConfig};
 
 use crate::certificate::{Certificate, CertificateCheck, StateLiteral};
 
@@ -64,9 +64,12 @@ pub struct PdrOptions {
     /// Re-validate the certificate of every proof with independent SAT
     /// checks (the default; see [`Certificate::validate`]).
     pub validate_certificate: bool,
-    /// Phase saving in the CDCL solver (the default; see
-    /// [`ipcl_sat::Solver::set_phase_saving`]).
-    pub phase_saving: bool,
+    /// Heuristic configuration of the CDCL solver (heap decisions, clause
+    /// minimization, database reduction, restarts, phase saving — see
+    /// [`ipcl_sat::SolverConfig`]). PDR leans hardest on the incremental
+    /// hot paths: every consecution/generalisation query is one
+    /// `solve_under_assumptions` call against the same solver.
+    pub solver: SolverConfig,
 }
 
 impl Default for PdrOptions {
@@ -75,7 +78,7 @@ impl Default for PdrOptions {
             max_frames: 64,
             generalize: true,
             validate_certificate: true,
-            phase_saving: true,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -248,8 +251,7 @@ impl<'a> Pdr<'a> {
         }
 
         let placeholder = act_init; // never assumed via `act[0]`
-        let mut solver = Solver::new(enc.unroller().cnf().num_vars as usize);
-        solver.set_phase_saving(options.phase_saving);
+        let solver = Solver::with_config(enc.unroller().cnf().num_vars as usize, options.solver);
         Ok(Pdr {
             spec,
             property,

@@ -34,9 +34,24 @@
 //! # Ok::<(), ipcl_rtl::RtlError>(())
 //! ```
 
+use std::collections::HashMap;
+
 use ipcl_expr::{Cnf, Lit};
 
 use crate::netlist::{Gate, Netlist, RtlError, SignalId, SignalKind};
+
+/// Key of the structural-hashing gate cache: a normalized gate shape over
+/// already-encoded literals. Two gates with the same key denote the same
+/// function, so they share one definition literal and one set of clauses.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum GateKey {
+    /// Conjunction over sorted, deduplicated operands.
+    And(Vec<Lit>),
+    /// Exclusive or over an ordered pair.
+    Xor(Lit, Lit),
+    /// Multiplexer `if sel { high } else { low }`.
+    Mux(Lit, Lit, Lit),
+}
 
 /// How frame-0 registers are constrained.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,6 +80,13 @@ pub struct Unroller {
     /// `frames[t][signal.index()]` is the literal of the signal in frame `t`.
     frames: Vec<Vec<Lit>>,
     const_true: Lit,
+    /// Structural-hashing cache: normalized gate shape → definition
+    /// literal. Hit whenever the same function over the same frame
+    /// literals is requested again — duplicate gates inside one frame,
+    /// and the repeated property-instance/cube encodings BMC and PDR
+    /// issue over a fixed unrolling — so the duplicate definitional
+    /// clauses are never emitted.
+    gate_cache: HashMap<GateKey, Lit>,
 }
 
 impl Unroller {
@@ -87,6 +109,7 @@ impl Unroller {
             cnf,
             frames: Vec::new(),
             const_true: Lit::positive(true_var),
+            gate_cache: HashMap::new(),
         })
     }
 
@@ -226,35 +249,113 @@ impl Unroller {
 
     /// Defines `g ↔ AND(operands)` over a fresh literal `g` (public so
     /// property encoders can build formulas over frame literals).
+    ///
+    /// Constant operands are folded, duplicates removed and complementary
+    /// pairs collapse to `false`; structurally identical conjunctions
+    /// share one definition through the gate cache.
     pub fn define_and(&mut self, operands: &[Lit]) -> Lit {
-        match operands.len() {
+        let mut ops: Vec<Lit> = Vec::with_capacity(operands.len());
+        for &lit in operands {
+            if lit == self.const_true {
+                continue;
+            }
+            if lit == self.const_true.negated() {
+                return self.const_true.negated();
+            }
+            ops.push(lit);
+        }
+        ops.sort_unstable();
+        ops.dedup();
+        if ops
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0] != w[1])
+        {
+            // x ∧ … ∧ ¬x is false.
+            return self.const_true.negated();
+        }
+        match ops.len() {
             0 => self.const_true,
-            1 => operands[0],
+            1 => ops[0],
             _ => {
+                if let Some(&g) = self.gate_cache.get(&GateKey::And(ops.clone())) {
+                    return g;
+                }
                 let g = self.fresh_lit();
-                for &lit in operands {
+                for &lit in &ops {
                     self.cnf.add_clause([g.negated(), lit]);
                 }
-                let mut clause: Vec<Lit> = operands.iter().map(|l| l.negated()).collect();
+                let mut clause: Vec<Lit> = ops.iter().map(|l| l.negated()).collect();
                 clause.push(g);
                 self.cnf.add_clause(clause);
+                self.gate_cache.insert(GateKey::And(ops), g);
                 g
             }
         }
     }
 
-    /// Defines `g ↔ (a ⊕ b)` over a fresh literal `g`.
+    /// Defines `g ↔ (a ⊕ b)` over a fresh literal `g`, with constant
+    /// folding and structural hashing (the operand pair is normalized by
+    /// literal code, and `a ⊕ b = ¬a ⊕ ¬b = ¬(¬a ⊕ b)` reuse one gate).
     pub fn define_xor(&mut self, a: Lit, b: Lit) -> Lit {
-        let g = self.fresh_lit();
-        self.cnf.add_clause([g.negated(), a, b]);
-        self.cnf.add_clause([g.negated(), a.negated(), b.negated()]);
-        self.cnf.add_clause([g, a.negated(), b]);
-        self.cnf.add_clause([g, a, b.negated()]);
-        g
+        if a == self.const_true {
+            return b.negated();
+        }
+        if a == self.const_true.negated() {
+            return b;
+        }
+        if b == self.const_true {
+            return a.negated();
+        }
+        if b == self.const_true.negated() {
+            return a;
+        }
+        if a == b {
+            return self.const_true.negated();
+        }
+        if a == b.negated() {
+            return self.const_true;
+        }
+        // Normalize to positive literals of the two variables; each
+        // negation flips the result's sign.
+        let flip = !a.is_positive() ^ !b.is_positive();
+        let (mut x, mut y) = (Lit::positive(a.var()), Lit::positive(b.var()));
+        if y.code() < x.code() {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let g = match self.gate_cache.get(&GateKey::Xor(x, y)) {
+            Some(&g) => g,
+            None => {
+                let g = self.fresh_lit();
+                self.cnf.add_clause([g.negated(), x, y]);
+                self.cnf.add_clause([g.negated(), x.negated(), y.negated()]);
+                self.cnf.add_clause([g, x.negated(), y]);
+                self.cnf.add_clause([g, x, y.negated()]);
+                self.gate_cache.insert(GateKey::Xor(x, y), g);
+                g
+            }
+        };
+        if flip {
+            g.negated()
+        } else {
+            g
+        }
     }
 
-    /// Defines `g ↔ if sel { high } else { low }` over a fresh literal `g`.
+    /// Defines `g ↔ if sel { high } else { low }` over a fresh literal `g`,
+    /// with constant folding and structural hashing.
     pub fn define_mux(&mut self, sel: Lit, high: Lit, low: Lit) -> Lit {
+        if sel == self.const_true {
+            return high;
+        }
+        if sel == self.const_true.negated() {
+            return low;
+        }
+        if high == low {
+            return high;
+        }
+        if let Some(&g) = self.gate_cache.get(&GateKey::Mux(sel, high, low)) {
+            return g;
+        }
         let g = self.fresh_lit();
         self.cnf.add_clause([sel.negated(), high.negated(), g]);
         self.cnf.add_clause([sel.negated(), high, g.negated()]);
@@ -264,6 +365,7 @@ impl Unroller {
         // output is known without the select.
         self.cnf.add_clause([high.negated(), low.negated(), g]);
         self.cnf.add_clause([high, low, g.negated()]);
+        self.gate_cache.insert(GateKey::Mux(sel, high, low), g);
         g
     }
 
@@ -420,6 +522,31 @@ mod tests {
             solver.solve_under_assumptions(&[enable_lit.negated(), diff]),
             SatResult::Unsat
         );
+    }
+
+    #[test]
+    fn gate_definitions_are_hash_consed() {
+        let (n, enable, bit0, _) = counter();
+        let mut unroller = Unroller::new(&n, InitialState::Reset).unwrap();
+        unroller.add_frame();
+        let a = unroller.lit(0, enable);
+        let b = unroller.lit(0, bit0);
+        let g1 = unroller.define_and(&[a, b]);
+        let clauses = unroller.cnf().len();
+        // Same conjunction (any operand order): same literal, no new clauses.
+        assert_eq!(unroller.define_and(&[b, a]), g1);
+        assert_eq!(unroller.cnf().len(), clauses);
+        // XOR is sign-normalized: ¬a ⊕ b reuses the a ⊕ b gate, negated.
+        let x = unroller.define_xor(a, b);
+        assert_eq!(unroller.define_xor(a.negated(), b), x.negated());
+        assert_eq!(unroller.define_xor(b, a), x);
+        // Constants fold instead of spending gates.
+        let t = unroller.const_true();
+        assert_eq!(unroller.define_and(&[a, t]), a);
+        assert_eq!(unroller.define_and(&[a, a.negated()]), t.negated());
+        assert_eq!(unroller.define_xor(a, t), a.negated());
+        assert_eq!(unroller.define_mux(t, a, b), a);
+        assert_eq!(unroller.define_mux(a, b, b), b);
     }
 
     #[test]

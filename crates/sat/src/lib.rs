@@ -25,7 +25,7 @@
 
 pub mod solver;
 
-pub use solver::{SatResult, Solver, SolverStats};
+pub use solver::{RestartStrategy, SatResult, Solver, SolverConfig, SolverStats};
 
 use ipcl_expr::{Expr, TseitinEncoder};
 
@@ -48,10 +48,14 @@ pub fn is_valid(expr: &Expr) -> bool {
 }
 
 /// Checks whether `expr` has at least one satisfying assignment.
+///
+/// Uses the polarity-aware Plaisted–Greenbaum encoding
+/// ([`TseitinEncoder::assert_expr`]): the root occurs only positively, so
+/// roughly half the definitional clauses of the full Tseitin encoding are
+/// emitted.
 pub fn is_satisfiable(expr: &Expr) -> bool {
     let mut enc = TseitinEncoder::new();
-    let root = enc.encode(expr);
-    enc.assert_literal(root);
+    enc.assert_expr(expr);
     let mut solver = Solver::from_cnf(enc.cnf());
     matches!(solver.solve(), SatResult::Sat(_))
 }
@@ -60,8 +64,7 @@ pub fn is_satisfiable(expr: &Expr) -> bool {
 /// variables, or `None` when unsatisfiable.
 pub fn satisfying_assignment(expr: &Expr) -> Option<ipcl_expr::Assignment> {
     let mut enc = TseitinEncoder::new();
-    let root = enc.encode(expr);
-    enc.assert_literal(root);
+    enc.assert_expr(expr);
     let var_map = enc.var_map().clone();
     let mut solver = Solver::from_cnf(enc.cnf());
     match solver.solve() {

@@ -169,6 +169,102 @@ fn pdr_proves_where_k_induction_fails_for_all_k_up_to_10() {
     assert!(report.certificates.contains_key(&property.name));
 }
 
+/// Determinism across the new solver heuristics (ISSUE 3): two runs with
+/// the same `SolverConfig` — including variants that stress the heap,
+/// minimization, aggressive database reduction and both restart schedules
+/// — produce byte-identical verdicts, counterexample traces and
+/// certificates.
+#[test]
+fn solver_config_variants_are_deterministic() {
+    use ipcl::sat::{RestartStrategy, SolverConfig};
+
+    let spec = example_spec();
+    let correct = synthesize_interlock(&spec);
+    let broken = synthesize_broken_interlock(&spec, BrokenVariant::IgnoreScoreboard);
+    let (deep_spec, deep_netlist) = deep_pipeline(8);
+    let deep_property = SequentialProperty::for_stage(
+        &deep_spec,
+        0,
+        PropertyKind::Performance,
+        Latency::Combinational,
+    );
+
+    let variants = [
+        ("optimized", SolverConfig::default()),
+        (
+            "stress-reduction",
+            SolverConfig {
+                reduce_base: 1,
+                restart: RestartStrategy::Luby { unit: 1 },
+                ..SolverConfig::default()
+            },
+        ),
+        ("baseline", SolverConfig::baseline()),
+    ];
+    for (name, solver) in variants {
+        // PDR proof of the deep chain: identical certificate text.
+        let pdr_options = PdrOptions {
+            solver,
+            ..PdrOptions::default()
+        };
+        let renders: Vec<String> = (0..2)
+            .map(|_| {
+                let result =
+                    check_property_pdr(&deep_spec, &deep_netlist, &deep_property, &pdr_options)
+                        .unwrap();
+                let PdrOutcome::Proved { certificate, .. } = &result.outcome else {
+                    panic!("{name}: deep chain must be proved");
+                };
+                certificate.render()
+            })
+            .collect();
+        assert_eq!(renders[0], renders[1], "{name}: certificates diverge");
+
+        // Full sequential runs: identical verdicts and traces.
+        let options = SequentialOptions {
+            bmc: BmcOptions {
+                solver,
+                ..BmcOptions::with_depth(6)
+            },
+            pdr: pdr_options,
+            deadlock: false,
+            strategy: ProofStrategy::KInduction,
+            ..Default::default()
+        };
+        let reports: Vec<SequentialReport> = (0..2)
+            .map(|_| check_netlist_sequential_with(&spec, broken.netlist(), &options).unwrap())
+            .collect();
+        assert!(reports[0].falsified(), "{name}: bug must be found");
+        let traces: Vec<Vec<String>> = reports
+            .iter()
+            .map(|report| {
+                report
+                    .results
+                    .iter()
+                    .map(|r| match r.outcome.counterexample() {
+                        Some(cex) => format!("{}: {}", r.property.name, cex.render()),
+                        None => format!("{}: clean", r.property.name),
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(traces[0], traces[1], "{name}: traces diverge");
+
+        let proved: Vec<Vec<bool>> = (0..2)
+            .map(|_| {
+                check_netlist_sequential_with(&spec, correct.netlist(), &options)
+                    .unwrap()
+                    .results
+                    .iter()
+                    .map(|r| r.outcome.is_proved())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(proved[0], proved[1], "{name}: proof verdicts diverge");
+        assert!(proved[0].iter().all(|&p| p), "{name}: must prove correct");
+    }
+}
+
 /// `Engine::Pdr` and `Engine::Bmc` agree on the paper example end to end
 /// (proved properties, reset verdicts, stall-escape verdicts).
 #[test]

@@ -1,0 +1,220 @@
+//! Property-based tests of the solver heuristics and the encodings
+//! (ISSUE 3): every [`SolverConfig`] feature combination must agree with
+//! brute force on random CNFs (monolithic *and* incremental streams), and
+//! the Plaisted–Greenbaum encoding must be equisatisfiable with the full
+//! Tseitin encoding — on random formulas and on the paper-example netlist
+//! properties the engines actually solve.
+
+use proptest::prelude::*;
+
+use ipcl::bmc::{Latency, PropertyKind, SequentialProperty};
+use ipcl::core::example::ExampleArch;
+use ipcl::expr::{Cnf, Expr, Lit, TseitinEncoder};
+use ipcl::sat::{RestartStrategy, SatResult, Solver, SolverConfig};
+
+/// The named configuration points of the matrix: each new heuristic
+/// individually off against the optimized default, restart-schedule
+/// variants, and the full pre-optimization baseline.
+fn config_matrix() -> Vec<(&'static str, SolverConfig)> {
+    let default = SolverConfig::default();
+    vec![
+        ("default", default),
+        (
+            "no-heap",
+            SolverConfig {
+                heap_decisions: false,
+                ..default
+            },
+        ),
+        (
+            "no-minimize",
+            SolverConfig {
+                minimize: false,
+                ..default
+            },
+        ),
+        (
+            "no-reduce",
+            SolverConfig {
+                reduce_db: false,
+                ..default
+            },
+        ),
+        (
+            "reduce-aggressively",
+            SolverConfig {
+                reduce_base: 1,
+                restart: RestartStrategy::Luby { unit: 1 },
+                ..default
+            },
+        ),
+        (
+            "geometric-restarts",
+            SolverConfig {
+                restart: RestartStrategy::Geometric {
+                    first: 2,
+                    factor_percent: 150,
+                },
+                ..default
+            },
+        ),
+        ("baseline", SolverConfig::baseline()),
+    ]
+}
+
+/// A random clause set over up to 8 variables (small enough for brute
+/// force, wide enough to hit units, binaries and ternaries).
+fn arbitrary_clauses() -> impl Strategy<Value = (u32, Vec<Vec<(u32, bool)>>)> {
+    let clause = proptest::collection::vec((0u32..8, any::<bool>()), 1..=3);
+    (2u32..=8, proptest::collection::vec(clause, 1..=24)).prop_map(|(num_vars, clauses)| {
+        // Fold the 0..8 literal universe onto the drawn variable count.
+        let clauses = clauses
+            .into_iter()
+            .map(|clause| clause.into_iter().map(|(v, s)| (v % num_vars, s)).collect())
+            .collect();
+        (num_vars, clauses)
+    })
+}
+
+fn build_cnf(num_vars: u32, clauses: &[Vec<(u32, bool)>]) -> Cnf {
+    let mut cnf = Cnf::new(num_vars);
+    for clause in clauses {
+        cnf.add_clause(clause.iter().map(|&(v, s)| Lit::new(v, s)));
+    }
+    cnf
+}
+
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    (0u64..(1 << cnf.num_vars)).any(|mask| cnf.eval(|v| mask & (1 << v) != 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever heuristics are on — heap decisions, minimization, database
+    /// reduction (even firing constantly), Luby or geometric restarts, or
+    /// the full pre-optimization baseline — the verdict matches brute
+    /// force and every model satisfies the formula.
+    #[test]
+    fn every_config_agrees_with_brute_force(input in arbitrary_clauses()) {
+        let (num_vars, clauses) = input;
+        let cnf = build_cnf(num_vars, &clauses);
+        let expected = brute_force_sat(&cnf);
+        for (name, config) in config_matrix() {
+            let mut solver = Solver::from_cnf_with_config(&cnf, config);
+            let result = solver.solve();
+            prop_assert!(
+                result.is_sat() == expected,
+                "config {} disagrees with brute force on {}",
+                name,
+                cnf.to_dimacs()
+            );
+            if let SatResult::Sat(model) = result {
+                prop_assert!(cnf.eval(|v| model[v as usize]), "config {} returned a bad model", name);
+            }
+        }
+    }
+
+    /// The incremental contract under every configuration: interleaved
+    /// clause addition, assumption queries and re-solves give the same
+    /// verdict stream as brute force over the clauses added so far.
+    #[test]
+    fn incremental_streams_match_brute_force(input in arbitrary_clauses(),
+                                             assume_var in 0u32..8, assume_sign in any::<bool>()) {
+        let (num_vars, clauses) = input;
+        let assumption = Lit::new(assume_var % num_vars, assume_sign);
+        for (name, config) in config_matrix() {
+            let mut solver = Solver::with_config(num_vars as usize, config);
+            let mut so_far = Cnf::new(num_vars);
+            for clause in &clauses {
+                let lits: Vec<Lit> = clause.iter().map(|&(v, s)| Lit::new(v, s)).collect();
+                so_far.add_clause(lits.clone());
+                solver.add_clause(lits);
+
+                let expected_plain = brute_force_sat(&so_far);
+                prop_assert!(
+                    solver.solve().is_sat() == expected_plain,
+                    "config {}: plain re-solve diverged on {}",
+                    name,
+                    so_far.to_dimacs()
+                );
+
+                let mut assumed = so_far.clone();
+                assumed.add_clause([assumption]);
+                prop_assert!(
+                    solver.solve_under_assumptions(&[assumption]).is_sat()
+                        == brute_force_sat(&assumed),
+                    "config {}: assumption query diverged on {}",
+                    name,
+                    so_far.to_dimacs()
+                );
+            }
+        }
+    }
+
+    /// PG vs. full Tseitin on random expression shapes, decided by the
+    /// CDCL solver itself (complementing the brute-force check inside
+    /// `ipcl-expr`): both encodings of the same expression must agree.
+    #[test]
+    fn plaisted_greenbaum_agrees_with_full_tseitin(input in arbitrary_clauses()) {
+        let (num_vars, clauses) = input;
+        // Reinterpret the clause soup as a nested and/or/not expression.
+        let mut pool = ipcl::expr::VarPool::new();
+        let vars: Vec<_> = (0..num_vars).map(|i| pool.var(&format!("v{i}"))).collect();
+        let expr = Expr::and(clauses.iter().map(|clause| {
+            Expr::or(clause.iter().map(|&(v, s)| {
+                let var = Expr::var(vars[v as usize]);
+                if s { var } else { Expr::not(var) }
+            }))
+        }));
+
+        let mut full = TseitinEncoder::new();
+        let root = full.encode(&expr);
+        full.assert_literal(root);
+        let mut full_solver = Solver::from_cnf(full.cnf());
+
+        let mut pg = TseitinEncoder::new();
+        pg.assert_expr(&expr);
+        prop_assert!(pg.cnf().len() <= full.cnf().len());
+        let mut pg_solver = Solver::from_cnf(pg.cnf());
+
+        prop_assert_eq!(full_solver.solve().is_sat(), pg_solver.solve().is_sat());
+    }
+}
+
+/// PG vs. full Tseitin on the expressions the sequential engines actually
+/// encode: every property direction of the paper example, at both latency
+/// classes, and its negation-for-refutation form.
+#[test]
+fn plaisted_greenbaum_matches_tseitin_on_paper_example_properties() {
+    let spec = ExampleArch::new().functional_spec();
+    for latency in [Latency::Combinational, Latency::Registered] {
+        for stage in 0..spec.stages().len() {
+            for kind in PropertyKind::ALL {
+                let property = SequentialProperty::for_stage(&spec, stage, kind, latency);
+                for expr in [property.ok.clone(), Expr::not(property.ok.clone())] {
+                    let mut full = TseitinEncoder::new();
+                    let root = full.encode(&expr);
+                    full.assert_literal(root);
+                    let mut full_solver = Solver::from_cnf(full.cnf());
+
+                    let mut pg = TseitinEncoder::new();
+                    pg.assert_expr(&expr);
+                    let mut pg_solver = Solver::from_cnf(pg.cnf());
+
+                    assert!(
+                        pg.cnf().len() <= full.cnf().len(),
+                        "{}: PG may not emit more clauses",
+                        property.name
+                    );
+                    assert_eq!(
+                        full_solver.solve().is_sat(),
+                        pg_solver.solve().is_sat(),
+                        "{}: encodings disagree",
+                        property.name
+                    );
+                }
+            }
+        }
+    }
+}
