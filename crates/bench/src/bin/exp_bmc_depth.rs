@@ -9,17 +9,24 @@
 //! * `scratch` — a fresh unrolling and solver per depth.
 //!
 //! Emits a JSON array (one object per `(mode, depth)` point) with wall-clock
-//! solve time, clause counts and CDCL statistics, to seed the benchmarking
-//! trajectory of the repository. The incremental path should be measurably
-//! faster and its advantage should grow with depth.
+//! solve time, clause counts and CDCL statistics — cumulative over the run
+//! *and* the per-depth delta of the final depth's base solve (isolated from
+//! the incremental stream via `SolverStats::delta`) — to seed the
+//! benchmarking trajectory of the repository. The incremental path should
+//! be measurably faster and its advantage should grow with depth.
+//!
+//! `--trace <dir>` / `--profile` enable the `ipcl-trace` observability
+//! layer (see [`ipcl_bench::TraceArgs`]).
 
 use std::time::Instant;
 
-use ipcl_bmc::{check_property, BmcOptions, Latency, PropertyKind, SequentialProperty};
+use ipcl_bench::TraceArgs;
+use ipcl_bmc::{check_property_traced, BmcOptions, Latency, PropertyKind, SequentialProperty};
 use ipcl_core::example::ExampleArch;
 use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
 
 fn main() {
+    let trace = TraceArgs::from_env();
     let spec = ExampleArch::new().functional_spec();
     let synthesized = synthesize_interlock_with(
         &spec,
@@ -33,11 +40,13 @@ fn main() {
         SequentialProperty::for_stage(&spec, 0, PropertyKind::Combined, Latency::Registered);
 
     // One warm-up run so first-touch allocation noise stays out of depth 1.
-    let _ = check_property(
+    let _ = check_property_traced(
         &spec,
         synthesized.netlist(),
         &property,
         &BmcOptions::with_depth(2),
+        None,
+        &ipcl_trace::Tracer::disabled(),
     );
 
     let mut entries = Vec::new();
@@ -56,8 +65,15 @@ fn main() {
             let mut last_stats = None;
             for _ in 0..3 {
                 let start = Instant::now();
-                let result = check_property(&spec, synthesized.netlist(), &property, &options)
-                    .expect("netlist elaborates");
+                let result = check_property_traced(
+                    &spec,
+                    synthesized.netlist(),
+                    &property,
+                    &options,
+                    None,
+                    trace.tracer(),
+                )
+                .expect("netlist elaborates");
                 times.push(start.elapsed().as_secs_f64() * 1e3);
                 assert!(
                     !result.outcome.is_falsified(),
@@ -77,7 +93,8 @@ fn main() {
                 concat!(
                     "  {{\"experiment\": \"bmc_depth\", \"mode\": \"{}\", \"depth\": {}, ",
                     "\"solve_ms\": {:.3}, \"clauses\": {}, \"solve_calls\": {}, ",
-                    "\"conflicts\": {}, \"propagations\": {}}}"
+                    "\"conflicts\": {}, \"propagations\": {}, ",
+                    "\"last_depth_conflicts\": {}, \"last_depth_propagations\": {}}}"
                 ),
                 mode,
                 depth,
@@ -86,6 +103,8 @@ fn main() {
                 stats.solve_calls,
                 stats.conflicts,
                 stats.propagations,
+                stats.last_depth_conflicts,
+                stats.last_depth_propagations,
             ));
         }
     }
@@ -101,4 +120,5 @@ fn main() {
         incremental_total < scratch_total,
         "incremental BMC must beat from-scratch re-encoding across the sweep"
     );
+    trace.finish();
 }

@@ -18,14 +18,22 @@
 //! ablation rows have `"phase_saving": false`).
 //!
 //! Emits a JSON array on stdout (one object per point) for the
-//! `BENCH_*.json` trajectory; `--smoke` shrinks the sweep for CI.
+//! `BENCH_*.json` trajectory; `--smoke` shrinks the sweep for CI. PDR rows
+//! carry the obligation-queue shape (`max_queue_depth`,
+//! `frame_obligations`). `--trace <dir>` / `--profile` enable the
+//! `ipcl-trace` observability layer (see [`ipcl_bench::TraceArgs`]).
 
 use std::time::Instant;
 
-use ipcl_bmc::{check_property, BmcOptions, BmcOutcome, Latency, PropertyKind, SequentialProperty};
+use ipcl_bench::TraceArgs;
+use ipcl_bmc::{
+    check_property_traced, BmcOptions, BmcOutcome, Latency, PropertyKind, SequentialProperty,
+};
 use ipcl_core::{ArchSpec, FunctionalSpec};
 use ipcl_pdr::deep::deep_pipeline;
-use ipcl_pdr::{check_property_pdr, check_property_portfolio, PdrOptions, PdrOutcome};
+use ipcl_pdr::{
+    check_property_pdr_traced, check_property_portfolio_traced, PdrOptions, PdrOutcome,
+};
 use ipcl_rtl::Netlist;
 use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
 
@@ -89,6 +97,7 @@ fn median_ms(mut times: Vec<f64>) -> f64 {
 fn main() {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
     let repeats = if smoke { 1 } else { 3 };
+    let trace = TraceArgs::from_env();
 
     let mut workloads = Vec::new();
     if smoke {
@@ -126,11 +135,13 @@ fn main() {
             let mut conflicts = 0u64;
             for _ in 0..repeats {
                 let start = Instant::now();
-                let result = check_property(
+                let result = check_property_traced(
                     &workload.spec,
                     &workload.netlist,
                     &workload.property,
                     &bmc_options,
+                    None,
+                    trace.tracer(),
                 )
                 .expect("netlist elaborates");
                 times.push(start.elapsed().as_secs_f64() * 1e3);
@@ -172,13 +183,17 @@ fn main() {
             let mut clauses = 0usize;
             let mut obligations = 0u64;
             let mut conflicts = 0u64;
+            let mut max_queue_depth = 0usize;
+            let mut frame_obligations = Vec::new();
             for _ in 0..repeats {
                 let start = Instant::now();
-                let result = check_property_pdr(
+                let result = check_property_pdr_traced(
                     &workload.spec,
                     &workload.netlist,
                     &workload.property,
                     &pdr_options,
+                    None,
+                    trace.tracer(),
                 )
                 .expect("netlist elaborates");
                 times.push(start.elapsed().as_secs_f64() * 1e3);
@@ -204,12 +219,15 @@ fn main() {
                 clauses = result.stats.clauses;
                 obligations = result.stats.obligations;
                 conflicts = result.stats.conflicts;
+                max_queue_depth = result.stats.max_queue_depth;
+                frame_obligations = result.stats.obligations_per_frame.clone();
             }
             entries.push(format!(
                 concat!(
                     "  {{\"experiment\": \"pdr_vs_kinduction\", \"workload\": \"{}\", ",
                     "\"engine\": \"pdr\", \"phase_saving\": {}, \"verdict\": \"{}\", ",
-                    "\"ms\": {:.3}, \"clauses\": {}, \"obligations\": {}, \"conflicts\": {}}}"
+                    "\"ms\": {:.3}, \"clauses\": {}, \"obligations\": {}, \"conflicts\": {}, ",
+                    "\"max_queue_depth\": {}, \"frame_obligations\": [{}]}}"
                 ),
                 workload.name,
                 phase_saving,
@@ -218,6 +236,12 @@ fn main() {
                 clauses,
                 obligations,
                 conflicts,
+                max_queue_depth,
+                frame_obligations
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
             ));
         }
 
@@ -228,12 +252,13 @@ fn main() {
             ..Default::default()
         };
         let start = Instant::now();
-        let result = check_property_portfolio(
+        let result = check_property_portfolio_traced(
             &workload.spec,
             &workload.netlist,
             &workload.property,
             &bmc_options,
             &PdrOptions::default(),
+            trace.tracer(),
         )
         .expect("netlist elaborates");
         let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -274,4 +299,5 @@ fn main() {
         workloads.len(),
         entries.len()
     );
+    trace.finish();
 }

@@ -22,23 +22,27 @@
 //!   — repeated re-solves under assumptions with clause addition between
 //!   calls.
 //!
-//! Emits a JSON array (one object per `(workload, config)` point).
-//! `--smoke` shrinks the sweep for CI; the full run asserts the
-//! acceptance criterion of ISSUE 3: at least one workload speeds up ≥ 2×
-//! and none regresses by more than 10%.
+//! Emits a JSON array (one object per `(workload, config)` point); BMC
+//! rows include the final depth's isolated solve counts
+//! (`last_depth_*`, via `SolverStats::delta`). `--smoke` shrinks the
+//! sweep for CI; the full run asserts the acceptance criterion of
+//! ISSUE 3: at least one workload speeds up ≥ 2× and none regresses by
+//! more than 10%. `--trace <dir>` / `--profile` enable the `ipcl-trace`
+//! observability layer (see [`ipcl_bench::TraceArgs`]).
 
 use std::time::Instant;
 
 /// A boxed workload runner: `SolverConfig` in, measured point out.
 type Runner = Box<dyn Fn(SolverConfig) -> Point>;
 
-use ipcl_bench::pigeonhole_cnf;
-use ipcl_bmc::{check_property, BmcOptions, Latency, PropertyKind, SequentialProperty};
+use ipcl_bench::{pigeonhole_cnf, TraceArgs};
+use ipcl_bmc::{check_property_traced, BmcOptions, Latency, PropertyKind, SequentialProperty};
 use ipcl_core::example::ExampleArch;
 use ipcl_pdr::deep::deep_pipeline;
-use ipcl_pdr::{check_property_pdr, PdrOptions, PdrOutcome};
+use ipcl_pdr::{check_property_pdr_traced, PdrOptions, PdrOutcome};
 use ipcl_sat::{SatResult, Solver, SolverConfig};
 use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
+use ipcl_trace::Tracer;
 
 fn median_ms(mut times: Vec<f64>) -> f64 {
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
@@ -52,12 +56,13 @@ struct Point {
     detail: String,
 }
 
-fn run_pigeonhole(pigeons: u32, config: SolverConfig, repeats: usize) -> Point {
+fn run_pigeonhole(pigeons: u32, config: SolverConfig, repeats: usize, tracer: &Tracer) -> Point {
     let cnf = pigeonhole_cnf(pigeons);
     let mut times = Vec::new();
     let mut detail = String::new();
     for _ in 0..repeats {
         let mut solver = Solver::from_cnf_with_config(&cnf, config);
+        solver.set_tracer(tracer.clone());
         let start = Instant::now();
         let result = solver.solve();
         times.push(start.elapsed().as_secs_f64() * 1e3);
@@ -74,7 +79,7 @@ fn run_pigeonhole(pigeons: u32, config: SolverConfig, repeats: usize) -> Point {
     }
 }
 
-fn run_deep_pdr(depth: usize, config: SolverConfig, repeats: usize) -> Point {
+fn run_deep_pdr(depth: usize, config: SolverConfig, repeats: usize, tracer: &Tracer) -> Point {
     let (spec, netlist) = deep_pipeline(depth);
     let property =
         SequentialProperty::for_stage(&spec, 0, PropertyKind::Performance, Latency::Combinational);
@@ -86,8 +91,8 @@ fn run_deep_pdr(depth: usize, config: SolverConfig, repeats: usize) -> Point {
     let mut detail = String::new();
     for _ in 0..repeats {
         let start = Instant::now();
-        let result =
-            check_property_pdr(&spec, &netlist, &property, &options).expect("netlist elaborates");
+        let result = check_property_pdr_traced(&spec, &netlist, &property, &options, None, tracer)
+            .expect("netlist elaborates");
         times.push(start.elapsed().as_secs_f64() * 1e3);
         let PdrOutcome::Proved { .. } = result.outcome else {
             panic!(
@@ -110,7 +115,7 @@ fn run_deep_pdr(depth: usize, config: SolverConfig, repeats: usize) -> Point {
     }
 }
 
-fn run_bmc_sweep(depth: usize, config: SolverConfig, repeats: usize) -> Point {
+fn run_bmc_sweep(depth: usize, config: SolverConfig, repeats: usize, tracer: &Tracer) -> Point {
     let spec = ExampleArch::new().functional_spec();
     let synthesized = synthesize_interlock_with(
         &spec,
@@ -132,19 +137,32 @@ fn run_bmc_sweep(depth: usize, config: SolverConfig, repeats: usize) -> Point {
     let mut detail = String::new();
     for _ in 0..repeats {
         let start = Instant::now();
-        let result = check_property(&spec, synthesized.netlist(), &property, &options)
-            .expect("netlist elaborates");
+        let result = check_property_traced(
+            &spec,
+            synthesized.netlist(),
+            &property,
+            &options,
+            None,
+            tracer,
+        )
+        .expect("netlist elaborates");
         times.push(start.elapsed().as_secs_f64() * 1e3);
         assert!(
             !result.outcome.is_falsified(),
             "the registered example holds at every depth"
         );
         detail = format!(
-            "\"solve_calls\": {}, \"clauses\": {}, \"conflicts\": {}, \"propagations\": {}",
+            concat!(
+                "\"solve_calls\": {}, \"clauses\": {}, \"conflicts\": {}, ",
+                "\"propagations\": {}, \"last_depth_conflicts\": {}, ",
+                "\"last_depth_propagations\": {}"
+            ),
             result.stats.solve_calls,
             result.stats.base_clauses,
             result.stats.conflicts,
-            result.stats.propagations
+            result.stats.propagations,
+            result.stats.last_depth_conflicts,
+            result.stats.last_depth_propagations
         );
     }
     Point {
@@ -156,50 +174,52 @@ fn run_bmc_sweep(depth: usize, config: SolverConfig, repeats: usize) -> Point {
 fn main() {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
     let repeats = if smoke { 1 } else { 3 };
+    let trace = TraceArgs::from_env();
     let configs = [
         ("optimized", SolverConfig::default()),
         ("baseline", SolverConfig::baseline()),
     ];
 
     // (name, runner) per workload; sizes chosen so the full run's
-    // slowest point stays within seconds.
+    // slowest point stays within seconds. Each runner captures its own
+    // handle on the shared tracer (clones share one core).
     let workloads: Vec<(String, Runner)> = if smoke {
         vec![
-            (
-                "pigeonhole-7".into(),
-                Box::new(move |c| run_pigeonhole(7, c, repeats)),
-            ),
-            (
-                "deep-pipeline-8-pdr".into(),
-                Box::new(move |c| run_deep_pdr(8, c, repeats)),
-            ),
-            (
-                "bmc-depth-8-incremental".into(),
-                Box::new(move |c| run_bmc_sweep(8, c, repeats)),
-            ),
+            ("pigeonhole-7".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_pigeonhole(7, c, repeats, &tracer))
+            }),
+            ("deep-pipeline-8-pdr".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_deep_pdr(8, c, repeats, &tracer))
+            }),
+            ("bmc-depth-8-incremental".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_bmc_sweep(8, c, repeats, &tracer))
+            }),
         ]
     } else {
         vec![
-            (
-                "pigeonhole-8".into(),
-                Box::new(move |c| run_pigeonhole(8, c, repeats)),
-            ),
-            (
-                "pigeonhole-9".into(),
-                Box::new(move |c| run_pigeonhole(9, c, repeats)),
-            ),
-            (
-                "deep-pipeline-12-pdr".into(),
-                Box::new(move |c| run_deep_pdr(12, c, repeats)),
-            ),
-            (
-                "deep-pipeline-16-pdr".into(),
-                Box::new(move |c| run_deep_pdr(16, c, repeats)),
-            ),
-            (
-                "bmc-depth-20-incremental".into(),
-                Box::new(move |c| run_bmc_sweep(20, c, repeats)),
-            ),
+            ("pigeonhole-8".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_pigeonhole(8, c, repeats, &tracer))
+            }),
+            ("pigeonhole-9".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_pigeonhole(9, c, repeats, &tracer))
+            }),
+            ("deep-pipeline-12-pdr".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_deep_pdr(12, c, repeats, &tracer))
+            }),
+            ("deep-pipeline-16-pdr".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_deep_pdr(16, c, repeats, &tracer))
+            }),
+            ("bmc-depth-20-incremental".into(), {
+                let tracer = trace.tracer().clone();
+                Box::new(move |c| run_bmc_sweep(20, c, repeats, &tracer))
+            }),
         ]
     };
 
@@ -259,4 +279,5 @@ fn main() {
             );
         }
     }
+    trace.finish();
 }

@@ -5,10 +5,92 @@
 //! `src/bin/` (run with `cargo run -p ipcl-bench --bin <name>`); the
 //! Criterion benchmarks in `benches/` cover the scaling/ablation studies.
 
+use std::path::PathBuf;
+
 use ipcl_core::fixpoint::derive_symbolic;
 use ipcl_core::{ArchSpec, FunctionalSpec};
 use ipcl_expr::{Cnf, Expr, Lit};
 use ipcl_pipesim::{Machine, SimStats, WorkloadConfig};
+use ipcl_trace::{report, TraceConfig, Tracer};
+
+/// Observability flags shared by the experiment binaries.
+///
+/// * `--trace <dir>` enables tracing and, at [`TraceArgs::finish`], writes
+///   `trace.jsonl` (the structured event log) and `profile.json` (the span
+///   profile + unified metrics) into `<dir>`;
+/// * `--profile` enables tracing and prints the human-readable profile
+///   summary to stderr (where it cannot corrupt the JSON on stdout).
+///
+/// Without either flag the returned tracer is the disabled (zero-cost) one,
+/// so instrumented experiments measure the same code path as before.
+pub struct TraceArgs {
+    /// Artifact directory of `--trace`, when given.
+    pub dir: Option<PathBuf>,
+    /// Whether `--profile` was given.
+    pub profile: bool,
+    tracer: Tracer,
+}
+
+impl TraceArgs {
+    /// Parses `--trace <dir>` / `--profile` from the process arguments.
+    pub fn from_env() -> TraceArgs {
+        let args: Vec<String> = std::env::args().collect();
+        let mut dir = None;
+        let mut profile = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace" => {
+                    dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| {
+                        panic!("--trace requires a directory argument")
+                    })));
+                    i += 1;
+                }
+                "--profile" => profile = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        let tracer = if dir.is_some() || profile {
+            Tracer::new(TraceConfig::enabled())
+        } else {
+            Tracer::disabled()
+        };
+        TraceArgs {
+            dir,
+            profile,
+            tracer,
+        }
+    }
+
+    /// The tracer to thread into the engines (disabled when no flag given).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Writes the requested artifacts / prints the profile summary.
+    ///
+    /// # Panics
+    ///
+    /// When the `--trace` directory cannot be written.
+    pub fn finish(&self) {
+        let Some(snapshot) = self.tracer.snapshot() else {
+            return;
+        };
+        if let Some(dir) = &self.dir {
+            let (trace_path, profile_path) =
+                report::write_artifacts(&snapshot, dir).expect("trace artifacts are writable");
+            eprintln!(
+                "trace artifacts: {} and {}",
+                trace_path.display(),
+                profile_path.display()
+            );
+        }
+        if self.profile {
+            eprint!("{}", report::render_profile(&snapshot));
+        }
+    }
+}
 
 /// The pigeonhole principle `PHP(n, n−1)` as CNF: `n` pigeons into `n − 1`
 /// holes, unsatisfiable, and exponentially hard for resolution — the

@@ -32,6 +32,7 @@ use ipcl_core::FunctionalSpec;
 use ipcl_expr::{Lit, VarId};
 use ipcl_rtl::{InitialState, Netlist, RtlError};
 use ipcl_sat::{SatResult, Solver, SolverConfig};
+use ipcl_trace::{MetricSink, Tracer, Value};
 
 use crate::encode::{FrameEncoder, SolverSync};
 use crate::property::SequentialProperty;
@@ -127,6 +128,12 @@ pub struct BmcStats {
     pub conflicts: u64,
     /// Propagations accumulated across both solvers.
     pub propagations: u64,
+    /// Conflicts of the **deepest base-case solve alone** (a
+    /// [`ipcl_sat::SolverStats::delta`] over the incremental stream, not
+    /// the cumulative count).
+    pub last_depth_conflicts: u64,
+    /// Propagations of the deepest base-case solve alone.
+    pub last_depth_propagations: u64,
 }
 
 /// The verdict of one property run.
@@ -192,9 +199,12 @@ impl Run {
         netlist: &Netlist,
         initial: InitialState,
         options: &BmcOptions,
+        tracer: &Tracer,
     ) -> Result<Self, RtlError> {
         let enc = FrameEncoder::new(netlist, initial, options.quiet_cycles)?;
-        let solver = Solver::with_config(enc.unroller().cnf().num_vars as usize, options.solver);
+        let mut solver =
+            Solver::with_config(enc.unroller().cnf().num_vars as usize, options.solver);
+        solver.set_tracer(tracer.clone());
         Ok(Run {
             enc,
             solver,
@@ -271,6 +281,30 @@ pub fn check_property_with_cancel(
     options: &BmcOptions,
     cancel: Option<&AtomicBool>,
 ) -> Result<BmcResult, BmcError> {
+    check_property_traced(
+        spec,
+        netlist,
+        property,
+        options,
+        cancel,
+        &Tracer::disabled(),
+    )
+}
+
+/// As [`check_property_with_cancel`], with an observability handle: the run
+/// executes under a `bmc.check` span (encode work under `bmc.encode`, SAT
+/// queries under the solver's own `sat.solve`), emits one `bmc_depth` event
+/// per explored depth with the per-depth solver-stats delta, and folds the
+/// unroller's structural-hashing counters into the tracer's metrics.
+pub fn check_property_traced(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    options: &BmcOptions,
+    cancel: Option<&AtomicBool>,
+    tracer: &Tracer,
+) -> Result<BmcResult, BmcError> {
+    let _span = tracer.span("bmc.check");
     let missing = missing_property_signals(spec, netlist, property);
     if !missing.is_empty() {
         return Err(BmcError::MissingSignals(missing));
@@ -279,8 +313,21 @@ pub fn check_property_with_cancel(
     let moe_vars: BTreeSet<VarId> = spec.moe_vars().into_iter().collect();
     let mut stats = BmcStats::default();
 
+    // Folds a run's solver totals and its unrolling's structural-hashing
+    // counters into the metrics (called once per run on every exit path
+    // that owns the run).
+    let emit_run = |label: &str, run: &Run| {
+        if tracer.is_enabled() {
+            run.solver.stats().emit(tracer, "sat");
+            let u = run.enc.unroller().stats();
+            tracer.counter(&format!("unroll.{label}.frames"), u.frames);
+            tracer.counter(&format!("unroll.{label}.gates"), u.gates);
+            tracer.counter(&format!("unroll.{label}.cache_hits"), u.cache_hits);
+        }
+    };
+
     let mut base = if options.incremental {
-        Some(Run::new(netlist, InitialState::Reset, options)?)
+        Some(Run::new(netlist, InitialState::Reset, options, tracer)?)
     } else {
         None
     };
@@ -297,19 +344,30 @@ pub fn check_property_with_cancel(
 
         // ---- Base case: a reset-rooted violation at exactly this depth?
         let base_result = if let Some(run) = base.as_mut() {
-            run.enc.ensure_frames(moe_frame + 1);
+            {
+                let _encode = tracer.span("bmc.encode");
+                run.enc.ensure_frames(moe_frame + 1);
+            }
             let ok = run
                 .enc
                 .encode_instance(spec, &moe_vars, property, moe_frame);
             run.sync_solver();
             stats.solve_calls += 1;
+            let before = run.solver.stats();
             let result = run.solver.solve_under_assumptions(&[ok.negated()]);
+            let depth_delta = run.solver.stats().delta(&before);
+            stats.last_depth_conflicts = depth_delta.conflicts;
+            stats.last_depth_propagations =
+                depth_delta.propagations + depth_delta.binary_propagations;
             stats.base_clauses = run.solver.num_clauses();
             result
         } else {
             // From-scratch mode: fresh unrolling and solver per depth.
-            let mut run = Run::new(netlist, InitialState::Reset, options)?;
-            run.enc.ensure_frames(moe_frame + 1);
+            let mut run = Run::new(netlist, InitialState::Reset, options, tracer)?;
+            {
+                let _encode = tracer.span("bmc.encode");
+                run.enc.ensure_frames(moe_frame + 1);
+            }
             let ok = run
                 .enc
                 .encode_instance(spec, &moe_vars, property, moe_frame);
@@ -318,13 +376,28 @@ pub fn check_property_with_cancel(
             stats.solve_calls += 1;
             let result = run.solver.solve();
             stats.base_clauses = run.solver.num_clauses();
-            stats.conflicts += run.solver.stats().conflicts;
-            stats.propagations += run.solver.stats().propagations;
+            let scratch = run.solver.stats();
+            stats.conflicts += scratch.conflicts;
+            stats.propagations += scratch.propagations;
+            // A fresh solver per depth: its totals are the per-depth delta.
+            stats.last_depth_conflicts = scratch.conflicts;
+            stats.last_depth_propagations = scratch.propagations + scratch.binary_propagations;
             if result.is_sat() {
                 base = Some(run); // keep for trace decoding below
+            } else {
+                emit_run("base", &run);
             }
             result
         };
+        tracer.event(
+            "bmc_depth",
+            &[
+                ("depth", Value::U64(moe_frame as u64)),
+                ("sat", Value::Bool(base_result.is_sat())),
+                ("conflicts", Value::U64(stats.last_depth_conflicts)),
+                ("propagations", Value::U64(stats.last_depth_propagations)),
+            ],
+        );
 
         if let SatResult::Sat(model) = base_result {
             let run = base.as_ref().expect("sat base run is retained");
@@ -339,7 +412,10 @@ pub fn check_property_with_cancel(
                 if let Some(run) = base {
                     stats.conflicts += run.solver.stats().conflicts;
                     stats.propagations += run.solver.stats().propagations;
+                    emit_run("base", &run);
                 }
+            } else if let Some(run) = base {
+                emit_run("base", &run);
             }
             return Ok(BmcResult {
                 property: property.clone(),
@@ -353,13 +429,16 @@ pub fn check_property_with_cancel(
             let run = match induction.as_mut() {
                 Some(run) => run,
                 None => {
-                    induction = Some(Run::new(netlist, InitialState::Free, options)?);
+                    induction = Some(Run::new(netlist, InitialState::Free, options, tracer)?);
                     induction.as_mut().expect("just created")
                 }
             };
             let k = induction_assumed.len();
             let step_frame = first + k;
-            run.enc.ensure_frames(step_frame + 1);
+            {
+                let _encode = tracer.span("bmc.encode");
+                run.enc.ensure_frames(step_frame + 1);
+            }
             // Loop-free path: the new state must differ from all earlier
             // states (no-op for stateless netlists).
             for earlier in 0..step_frame {
@@ -377,9 +456,11 @@ pub fn check_property_with_cancel(
             if result == SatResult::Unsat {
                 stats.conflicts += run.solver.stats().conflicts;
                 stats.propagations += run.solver.stats().propagations;
+                emit_run("induction", run);
                 if let Some(run) = base {
                     stats.conflicts += run.solver.stats().conflicts;
                     stats.propagations += run.solver.stats().propagations;
+                    emit_run("base", &run);
                 }
                 return Ok(BmcResult {
                     property: property.clone(),
@@ -396,10 +477,12 @@ pub fn check_property_with_cancel(
     if let Some(run) = base {
         stats.conflicts += run.solver.stats().conflicts;
         stats.propagations += run.solver.stats().propagations;
+        emit_run("base", &run);
     }
     if let Some(run) = induction {
         stats.conflicts += run.solver.stats().conflicts;
         stats.propagations += run.solver.stats().propagations;
+        emit_run("induction", &run);
     }
     Ok(BmcResult {
         property: property.clone(),
@@ -454,7 +537,12 @@ pub fn check_stall_escape(
     // quiet-environment constraints are identical across stages, so only the
     // per-stage "stalled throughout" literals vary — exactly the use case of
     // solving under assumptions (learned clauses carry over between stages).
-    let mut run = Run::new(netlist, InitialState::Free, &BmcOptions::default())?;
+    let mut run = Run::new(
+        netlist,
+        InitialState::Free,
+        &BmcOptions::default(),
+        &Tracer::disabled(),
+    )?;
     run.enc.ensure_frames(escape_cycles + 1);
     for frame in 0..=escape_cycles {
         for input in run.enc.unroller().netlist().inputs() {

@@ -53,6 +53,9 @@ pub use ipcl_pdr::{
     Certificate, CertificateCheck, PdrOptions, PdrOutcome, PdrResult, PortfolioResult,
     PortfolioWinner, StateLiteral,
 };
+// Observability vocabulary, so callers can configure tracing on
+// `SequentialOptions` and consume the snapshot without naming `ipcl-trace`.
+pub use ipcl_trace::{TraceConfig, TraceSnapshot, Tracer};
 
 #[cfg(test)]
 mod tests {

@@ -31,17 +31,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ipcl_bmc::{
-    check_property, check_stall_escape, BmcError, BmcOptions, BmcOutcome, BmcResult, BmcStats,
-    Latency, SequentialProperty, StallEscapeReport,
+    check_property_traced, check_stall_escape, BmcError, BmcOptions, BmcOutcome, BmcResult,
+    BmcStats, Latency, SequentialProperty, StallEscapeReport,
 };
 use ipcl_core::fixpoint::derive_concrete;
 use ipcl_core::FunctionalSpec;
 use ipcl_expr::Assignment;
 use ipcl_pdr::{
-    check_property_pdr, check_property_portfolio, Certificate, PdrOptions, PdrOutcome, PdrResult,
-    PortfolioWinner,
+    check_property_pdr_traced, check_property_portfolio_traced, Certificate, PdrOptions,
+    PdrOutcome, PdrResult, PortfolioWinner,
 };
 use ipcl_rtl::{Netlist, RtlError, SignalKind, Simulator};
+use ipcl_trace::{TraceConfig, TraceSnapshot, Tracer, Value};
 
 use crate::engine::Engine;
 
@@ -228,6 +229,10 @@ pub struct SequentialOptions {
     pub deadlock: bool,
     /// Window of the stall-escape check, in quiet cycles.
     pub escape_cycles: usize,
+    /// Observability configuration. Disabled by default (and zero-cost when
+    /// disabled); when enabled, [`SequentialReport::trace`] carries the
+    /// frozen profile tree, metrics and event log of the whole run.
+    pub trace: TraceConfig,
 }
 
 impl Default for SequentialOptions {
@@ -242,6 +247,7 @@ impl Default for SequentialOptions {
             parallel: true,
             deadlock: true,
             escape_cycles: 2,
+            trace: TraceConfig::disabled(),
         }
     }
 }
@@ -287,6 +293,10 @@ pub struct SequentialReport {
     pub stall_escape: Vec<StallEscapeReport>,
     /// Violations found by the random pre-pass (unsound, informational).
     pub prepass_violations: Vec<DynamicViolation>,
+    /// The frozen observability snapshot — profile tree, unified metrics
+    /// and the structured event log — when [`SequentialOptions::trace`] was
+    /// enabled; `None` otherwise. Render it with `ipcl_trace::report`.
+    pub trace: Option<TraceSnapshot>,
 }
 
 impl SequentialReport {
@@ -345,6 +355,9 @@ pub fn check_netlist_sequential_with(
         return Err(BmcError::MissingSignals(missing));
     }
 
+    let tracer = Tracer::new(options.trace);
+    let run_span = tracer.span("checker.sequential");
+
     let latency = options
         .latency
         .unwrap_or_else(|| Latency::detect(spec, netlist));
@@ -378,11 +391,12 @@ pub fn check_netlist_sequential_with(
 
     let checked: Vec<(BmcResult, Option<Certificate>)> = if options.parallel {
         std::thread::scope(|scope| {
+            let tracer = &tracer;
             let handles: Vec<_> = properties
                 .iter()
                 .map(|property| {
                     let opts = *options;
-                    scope.spawn(move || check_one_property(spec, netlist, property, &opts))
+                    scope.spawn(move || check_one_property(spec, netlist, property, &opts, tracer))
                 })
                 .collect();
             handles
@@ -393,7 +407,7 @@ pub fn check_netlist_sequential_with(
     } else {
         properties
             .iter()
-            .map(|property| check_one_property(spec, netlist, property, options))
+            .map(|property| check_one_property(spec, netlist, property, options, &tracer))
             .collect::<Result<Vec<_>, _>>()?
     };
     let mut certificates = BTreeMap::new();
@@ -410,9 +424,20 @@ pub fn check_netlist_sequential_with(
     // semantics, which is a checker bug, not a property verdict.
     for result in &results {
         if let BmcOutcome::Falsified(cex) = &result.outcome {
+            let _replay_span = tracer.span("checker.replay");
             let replay = cex
                 .replay(spec, netlist, &result.property)
                 .map_err(BmcError::Rtl)?;
+            if tracer.is_enabled() {
+                tracer.event(
+                    "replay_verdict",
+                    &[
+                        ("property", Value::from(result.property.name.clone())),
+                        ("length", Value::from(cex.length() as u64)),
+                        ("reproduced", Value::from(replay.violation_reproduced)),
+                    ],
+                );
+            }
             assert!(
                 replay.violation_reproduced,
                 "counterexample for {} failed to replay:\n{}",
@@ -423,11 +448,13 @@ pub fn check_netlist_sequential_with(
     }
 
     let stall_escape = if options.deadlock {
+        let _span = tracer.span("checker.stall_escape");
         check_stall_escape(spec, netlist, options.escape_cycles)?
     } else {
         Vec::new()
     };
 
+    drop(run_span);
     Ok(SequentialReport {
         latency,
         results,
@@ -435,6 +462,7 @@ pub fn check_netlist_sequential_with(
         reset: check_reset_values(spec, netlist),
         stall_escape,
         prepass_violations,
+        trace: tracer.snapshot(),
     })
 }
 
@@ -446,18 +474,27 @@ fn check_one_property(
     netlist: &Netlist,
     property: &SequentialProperty,
     options: &SequentialOptions,
+    tracer: &Tracer,
 ) -> Result<(BmcResult, Option<Certificate>), BmcError> {
     match options.strategy {
         ProofStrategy::KInduction => {
-            check_property(spec, netlist, property, &options.bmc).map(|r| (r, None))
+            check_property_traced(spec, netlist, property, &options.bmc, None, tracer)
+                .map(|r| (r, None))
         }
         ProofStrategy::Pdr => {
-            let result = check_property_pdr(spec, netlist, property, &options.pdr)?;
+            let result =
+                check_property_pdr_traced(spec, netlist, property, &options.pdr, None, tracer)?;
             Ok(fold_pdr_result(result))
         }
         ProofStrategy::Portfolio => {
-            let result =
-                check_property_portfolio(spec, netlist, property, &options.bmc, &options.pdr)?;
+            let result = check_property_portfolio_traced(
+                spec,
+                netlist,
+                property,
+                &options.bmc,
+                &options.pdr,
+                tracer,
+            )?;
             match result.winner {
                 Some(PortfolioWinner::Pdr) => Ok(fold_pdr_result(result.pdr)),
                 // BMC won — or neither engine was definitive, in which case
@@ -493,6 +530,8 @@ fn fold_pdr_result(result: PdrResult) -> (BmcResult, Option<Certificate>) {
         induction_clauses: 0,
         conflicts: result.stats.conflicts,
         propagations: result.stats.propagations,
+        last_depth_conflicts: 0,
+        last_depth_propagations: 0,
     };
     match result.outcome {
         PdrOutcome::Proved {

@@ -180,6 +180,17 @@ struct GateEntry {
     emitted: u8,
 }
 
+/// Structural-hashing effectiveness counters of a [`TseitinEncoder`]
+/// (shared-gate reuse is the encoder's whole performance story, so the
+/// observability layer surfaces these as `encode.*` metrics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EncodeStats {
+    /// Distinct gates allocated (cache misses).
+    pub gates: u64,
+    /// Gate lookups answered from the structural-hashing cache.
+    pub cache_hits: u64,
+}
+
 /// Cache key of a gate: its connective over the *already-encoded child
 /// literals* (bottom-up hash-consing). Keying on child literals instead
 /// of on subexpression trees keeps every cache probe O(arity) — no deep
@@ -243,6 +254,7 @@ pub struct TseitinEncoder {
     /// Hash-consed gate cache, keyed on connective + child literals
     /// (gate nodes and constants only; variables go through `var_map`).
     cache: HashMap<GateKey, GateEntry>,
+    stats: EncodeStats,
 }
 
 impl TseitinEncoder {
@@ -309,16 +321,23 @@ impl TseitinEncoder {
         &self.cnf
     }
 
+    /// Structural-hashing counters accumulated so far.
+    pub fn stats(&self) -> EncodeStats {
+        self.stats
+    }
+
     /// The shared literal of the constant `b` (a variable forced to that
     /// value by one unit clause, valid in both directions).
     fn constant(&mut self, b: bool) -> Lit {
         let key = GateKey::Const(b);
         if let Some(entry) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
             return entry.lit;
         }
         let lit = Lit::positive(self.cnf.fresh_var());
         self.cnf.add_clause([Lit::new(lit.var(), b)]);
         self.cache.insert(key, GateEntry { lit, emitted: BOTH });
+        self.stats.gates += 1;
         lit
     }
 
@@ -327,11 +346,13 @@ impl TseitinEncoder {
     fn gate(&mut self, key: GateKey, need: u8) -> (Lit, u8) {
         match self.cache.get_mut(&key) {
             Some(entry) => {
+                self.stats.cache_hits += 1;
                 let missing = need & !entry.emitted;
                 entry.emitted |= missing;
                 (entry.lit, missing)
             }
             None => {
+                self.stats.gates += 1;
                 let lit = Lit::positive(self.cnf.fresh_var());
                 self.cache.insert(key, GateEntry { lit, emitted: need });
                 (lit, need)

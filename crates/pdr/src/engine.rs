@@ -46,6 +46,7 @@ use ipcl_core::FunctionalSpec;
 use ipcl_expr::{Lit, VarId};
 use ipcl_rtl::{InitialState, Netlist, SignalId, SignalKind};
 use ipcl_sat::{SatResult, Solver, SolverConfig};
+use ipcl_trace::{MetricSink, Tracer, Value};
 
 use crate::certificate::{Certificate, CertificateCheck, StateLiteral};
 
@@ -84,7 +85,7 @@ impl Default for PdrOptions {
 }
 
 /// Search statistics of one PDR run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PdrStats {
     /// Frames opened (the final `K`).
     pub frames: usize,
@@ -100,6 +101,35 @@ pub struct PdrStats {
     pub conflicts: u64,
     /// Propagations in the underlying CDCL solver.
     pub propagations: u64,
+    /// Maximum length the proof-obligation queue ever reached — the
+    /// shard-sizing input for a work-stealing parallel PDR (ROADMAP
+    /// item 1): it bounds how much concurrency the obligation stream
+    /// could even feed.
+    pub max_queue_depth: usize,
+    /// Obligations processed per frame: `obligations_per_frame[k]` counts
+    /// pops whose consecution query ran against `F_{k-1}`. Skewed
+    /// distributions indicate one frame dominating the search.
+    pub obligations_per_frame: Vec<u64>,
+}
+
+impl PdrStats {
+    /// Emits the run's counters as `<prefix>.*` and the queue shape as
+    /// gauges into `sink` (the [`MetricSink`] unification shared with
+    /// `SolverStats` and `BmcStats`).
+    pub fn emit(&self, sink: &dyn MetricSink, prefix: &str) {
+        sink.counter(&format!("{prefix}.clauses"), self.clauses as u64);
+        sink.counter(&format!("{prefix}.obligations"), self.obligations);
+        sink.counter(&format!("{prefix}.solve_calls"), self.solve_calls);
+        sink.counter(
+            &format!("{prefix}.generalization_drops"),
+            self.generalization_drops,
+        );
+        sink.gauge(&format!("{prefix}.frames"), self.frames as f64);
+        sink.gauge(
+            &format!("{prefix}.max_queue_depth"),
+            self.max_queue_depth as f64,
+        );
+    }
 }
 
 /// The verdict of one PDR run.
@@ -213,6 +243,7 @@ struct Pdr<'a> {
     /// negations are stored at frame `k`.
     frame_cubes: Vec<Vec<Cube>>,
     stats: PdrStats,
+    tracer: Tracer,
 }
 
 impl<'a> Pdr<'a> {
@@ -221,7 +252,9 @@ impl<'a> Pdr<'a> {
         netlist: &Netlist,
         property: &'a SequentialProperty,
         options: PdrOptions,
+        tracer: &Tracer,
     ) -> Result<Self, BmcError> {
+        let _encode = tracer.span("pdr.encode");
         let mut enc = FrameEncoder::new(netlist, InitialState::Free, 0)?;
         // Two frames: the transition `s → s'` and (for registered latency)
         // the property window.
@@ -251,7 +284,9 @@ impl<'a> Pdr<'a> {
         }
 
         let placeholder = act_init; // never assumed via `act[0]`
-        let solver = Solver::with_config(enc.unroller().cnf().num_vars as usize, options.solver);
+        let mut solver =
+            Solver::with_config(enc.unroller().cnf().num_vars as usize, options.solver);
+        solver.set_tracer(tracer.clone());
         Ok(Pdr {
             spec,
             property,
@@ -268,6 +303,7 @@ impl<'a> Pdr<'a> {
             act: vec![placeholder],
             frame_cubes: vec![Vec::new()],
             stats: PdrStats::default(),
+            tracer: tracer.clone(),
         })
     }
 
@@ -375,6 +411,7 @@ impl<'a> Pdr<'a> {
     /// is dropped, giving a clause that blocks exponentially many states
     /// instead of one.
     fn generalize(&mut self, cube: Cube, k: usize) -> Cube {
+        let _span = self.tracer.span_fast("pdr.generalize");
         let mut current = cube.clone();
         for &entry in &cube {
             if current.len() == 1 {
@@ -424,12 +461,13 @@ impl<'a> Pdr<'a> {
         // first, FIFO within a frame.
         let mut queue: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
         queue.push(Reverse((top, 0)));
+        self.note_push(top, queue.len());
 
         while let Some(Reverse((k, index))) = queue.pop() {
             if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
                 return BlockOutcome::Cancelled;
             }
-            self.stats.obligations += 1;
+            self.note_pop(k, queue.len());
             if k == 0 {
                 // Defensive: obligations at frame 0 are initial states and
                 // are caught at creation time by the initiation check.
@@ -441,6 +479,7 @@ impl<'a> Pdr<'a> {
                 // pushing the obligation towards the top frame.
                 if k < top {
                     queue.push(Reverse((k + 1, index)));
+                    self.note_push(k + 1, queue.len());
                 }
                 continue;
             }
@@ -454,6 +493,7 @@ impl<'a> Pdr<'a> {
                     self.add_frame_clause(generalized, k);
                     if k < top {
                         queue.push(Reverse((k + 1, index)));
+                        self.note_push(k + 1, queue.len());
                     }
                 }
                 SatResult::Sat(model) => {
@@ -476,10 +516,44 @@ impl<'a> Pdr<'a> {
                     });
                     queue.push(Reverse((k - 1, arena.len() - 1)));
                     queue.push(Reverse((k, index)));
+                    self.note_push(k - 1, queue.len() - 1);
+                    self.note_push(k, queue.len());
                 }
             }
         }
         BlockOutcome::Blocked
+    }
+
+    /// Records an obligation entering the queue at `frame`, with the
+    /// queue length right after the push.
+    fn note_push(&mut self, frame: usize, queue_len: usize) {
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(queue_len);
+        self.tracer.event(
+            "pdr_obligation",
+            &[
+                ("action", Value::from("push")),
+                ("frame", Value::U64(frame as u64)),
+                ("queue", Value::U64(queue_len as u64)),
+            ],
+        );
+    }
+
+    /// Records an obligation leaving the queue at `frame`, with the queue
+    /// length right after the pop.
+    fn note_pop(&mut self, frame: usize, queue_len: usize) {
+        self.stats.obligations += 1;
+        if frame >= self.stats.obligations_per_frame.len() {
+            self.stats.obligations_per_frame.resize(frame + 1, 0);
+        }
+        self.stats.obligations_per_frame[frame] += 1;
+        self.tracer.event(
+            "pdr_obligation",
+            &[
+                ("action", Value::from("pop")),
+                ("frame", Value::U64(frame as u64)),
+                ("queue", Value::U64(queue_len as u64)),
+            ],
+        );
     }
 
     /// Reconstructs the counterexample trace ending at the obligation
@@ -512,6 +586,7 @@ impl<'a> Pdr<'a> {
     /// clause inductive relative to its own frame moves one frame up.
     /// Returns the fixpoint frame if two adjacent frames became equal.
     fn propagate(&mut self) -> Option<usize> {
+        let _span = self.tracer.span("pdr.propagate");
         let top = self.top();
         for k in 1..top {
             let cubes = std::mem::take(&mut self.frame_cubes[k]);
@@ -690,20 +765,55 @@ pub fn check_property_pdr_with_cancel(
     options: &PdrOptions,
     cancel: Option<&AtomicBool>,
 ) -> Result<PdrResult, BmcError> {
+    check_property_pdr_traced(
+        spec,
+        netlist,
+        property,
+        options,
+        cancel,
+        &Tracer::disabled(),
+    )
+}
+
+/// As [`check_property_pdr_with_cancel`], with an observability handle:
+/// the run executes under a `pdr.check` span (encode under `pdr.encode`,
+/// clause propagation under `pdr.propagate`, cube generalisation under
+/// `pdr.generalize`, certificate re-checking under `pdr.validate`, SAT
+/// queries under the solver's own `sat.solve`), logs one `pdr_obligation`
+/// event per obligation push/pop with its frame and queue depth, and
+/// folds the run's counters into the tracer's metrics.
+pub fn check_property_pdr_traced(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    options: &PdrOptions,
+    cancel: Option<&AtomicBool>,
+    tracer: &Tracer,
+) -> Result<PdrResult, BmcError> {
+    let _span = tracer.span("pdr.check");
     let missing = ipcl_bmc::missing_property_signals(spec, netlist, property);
     if !missing.is_empty() {
         return Err(BmcError::MissingSignals(missing));
     }
 
-    let mut pdr = Pdr::new(spec, netlist, property, *options)?;
+    let mut pdr = Pdr::new(spec, netlist, property, *options, tracer)?;
     let outcome = pdr.run(cancel);
-    let mut stats = pdr.stats;
+    let mut stats = pdr.stats.clone();
     stats.frames = pdr.top();
     stats.conflicts = pdr.solver.stats().conflicts;
     stats.propagations = pdr.solver.stats().propagations;
+    if tracer.is_enabled() {
+        stats.emit(tracer, "pdr");
+        pdr.solver.stats().emit(tracer, "sat");
+        let u = pdr.enc.unroller().stats();
+        tracer.counter("unroll.pdr.frames", u.frames);
+        tracer.counter("unroll.pdr.gates", u.gates);
+        tracer.counter("unroll.pdr.cache_hits", u.cache_hits);
+    }
 
     let validation = match (&outcome, options.validate_certificate) {
         (PdrOutcome::Proved { certificate, .. }, true) => {
+            let _validate = tracer.span("pdr.validate");
             Some(certificate.validate(spec, netlist, property)?)
         }
         _ => None,

@@ -55,9 +55,12 @@ pub mod portfolio;
 
 pub use certificate::{Certificate, CertificateCheck, StateLiteral};
 pub use engine::{
-    check_property_pdr, check_property_pdr_with_cancel, PdrOptions, PdrOutcome, PdrResult, PdrStats,
+    check_property_pdr, check_property_pdr_traced, check_property_pdr_with_cancel, PdrOptions,
+    PdrOutcome, PdrResult, PdrStats,
 };
-pub use portfolio::{check_property_portfolio, PortfolioResult, PortfolioWinner};
+pub use portfolio::{
+    check_property_portfolio, check_property_portfolio_traced, PortfolioResult, PortfolioWinner,
+};
 
 // Re-exported so callers can name the shared vocabulary without a direct
 // `ipcl-bmc` dependency.

@@ -22,13 +22,14 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use ipcl_bmc::{
-    check_property_with_cancel, BmcError, BmcOptions, BmcOutcome, BmcResult, Counterexample,
+    check_property_traced, BmcError, BmcOptions, BmcOutcome, BmcResult, Counterexample,
 };
 use ipcl_bmc::{Netlist, SequentialProperty};
 use ipcl_core::FunctionalSpec;
+use ipcl_trace::{Tracer, Value};
 
 use crate::certificate::Certificate;
-use crate::engine::{check_property_pdr_with_cancel, PdrOptions, PdrOutcome, PdrResult};
+use crate::engine::{check_property_pdr_traced, PdrOptions, PdrOutcome, PdrResult};
 
 /// Which engine produced the portfolio's verdict.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,6 +89,14 @@ impl PortfolioResult {
     }
 }
 
+fn verdict_name(proved: bool) -> &'static str {
+    if proved {
+        "proved"
+    } else {
+        "falsified"
+    }
+}
+
 fn bmc_definitive(result: &Result<BmcResult, BmcError>) -> bool {
     matches!(
         result,
@@ -126,6 +135,36 @@ pub fn check_property_portfolio(
     bmc_options: &BmcOptions,
     pdr_options: &PdrOptions,
 ) -> Result<PortfolioResult, BmcError> {
+    check_property_portfolio_traced(
+        spec,
+        netlist,
+        property,
+        bmc_options,
+        pdr_options,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`check_property_portfolio`] with a [`Tracer`]: the race itself runs
+/// under a `portfolio.race` span on the caller's thread, each racer opens
+/// its own engine span (`bmc.check` / `pdr.check`) on its scoped thread,
+/// and the cancellation handshake is logged as `portfolio_cancel` /
+/// `portfolio_verdict` events — so one trace interleaves both engines'
+/// event streams, distinguishable by thread id.
+///
+/// # Errors
+///
+/// As [`check_property_portfolio`].
+pub fn check_property_portfolio_traced(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    bmc_options: &BmcOptions,
+    pdr_options: &PdrOptions,
+    tracer: &Tracer,
+) -> Result<PortfolioResult, BmcError> {
+    let _span = tracer.span("portfolio.race");
+
     // Align the BMC racer with PDR's unconditional semantics.
     let bmc_options = BmcOptions {
         quiet_cycles: 0,
@@ -138,19 +177,27 @@ pub fn check_property_portfolio(
     let (bmc, bmc_stamp, pdr, pdr_stamp) = std::thread::scope(|scope| {
         let bmc_handle = scope.spawn(|| {
             let result =
-                check_property_with_cancel(spec, netlist, property, &bmc_options, Some(&cancel));
+                check_property_traced(spec, netlist, property, &bmc_options, Some(&cancel), tracer);
             let stamp = finish_order.fetch_add(1, Ordering::SeqCst);
             if bmc_definitive(&result) {
                 cancel.store(true, Ordering::Relaxed);
+                tracer.event("portfolio_cancel", &[("engine", Value::from("bmc"))]);
             }
             (result, stamp)
         });
         let pdr_handle = scope.spawn(|| {
-            let result =
-                check_property_pdr_with_cancel(spec, netlist, property, pdr_options, Some(&cancel));
+            let result = check_property_pdr_traced(
+                spec,
+                netlist,
+                property,
+                pdr_options,
+                Some(&cancel),
+                tracer,
+            );
             let stamp = finish_order.fetch_add(1, Ordering::SeqCst);
             if pdr_definitive(&result) {
                 cancel.store(true, Ordering::Relaxed);
+                tracer.event("portfolio_cancel", &[("engine", Value::from("pdr"))]);
             }
             (result, stamp)
         });
@@ -190,6 +237,21 @@ pub fn check_property_portfolio(
         (false, true) => Some(PortfolioWinner::Pdr),
         (false, false) => None,
     };
+
+    if tracer.is_enabled() {
+        let (winner_name, verdict) = match winner {
+            Some(PortfolioWinner::Bmc) => ("bmc", verdict_name(bmc.outcome.is_proved())),
+            Some(PortfolioWinner::Pdr) => ("pdr", verdict_name(pdr.outcome.is_proved())),
+            None => ("none", "unknown"),
+        };
+        tracer.event(
+            "portfolio_verdict",
+            &[
+                ("winner", Value::from(winner_name)),
+                ("verdict", Value::from(verdict)),
+            ],
+        );
+    }
 
     Ok(PortfolioResult {
         property: property.clone(),

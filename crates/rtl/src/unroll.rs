@@ -53,6 +53,19 @@ enum GateKey {
     Mux(Lit, Lit, Lit),
 }
 
+/// Encode-path counters of an [`Unroller`]: how much work the unrolling
+/// did and how much the structural-hashing cache saved (surfaced as
+/// `unroll.*` metrics by the observability layer).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct UnrollStats {
+    /// Time frames appended.
+    pub frames: u64,
+    /// Distinct gates defined (cache misses across and/xor/mux).
+    pub gates: u64,
+    /// Gate definitions answered from the structural-hashing cache.
+    pub cache_hits: u64,
+}
+
 /// How frame-0 registers are constrained.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum InitialState {
@@ -87,6 +100,7 @@ pub struct Unroller {
     /// issue over a fixed unrolling — so the duplicate definitional
     /// clauses are never emitted.
     gate_cache: HashMap<GateKey, Lit>,
+    stats: UnrollStats,
 }
 
 impl Unroller {
@@ -110,6 +124,7 @@ impl Unroller {
             frames: Vec::new(),
             const_true: Lit::positive(true_var),
             gate_cache: HashMap::new(),
+            stats: UnrollStats::default(),
         })
     }
 
@@ -126,6 +141,11 @@ impl Unroller {
     /// Number of frames added so far.
     pub fn num_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Encode-path counters accumulated so far.
+    pub fn stats(&self) -> UnrollStats {
+        self.stats
     }
 
     /// The accumulated CNF. Clauses are append-only, so an incremental
@@ -223,6 +243,7 @@ impl Unroller {
         }
         self.kinds = kinds;
         self.frames.push(lits);
+        self.stats.frames += 1;
         frame
     }
 
@@ -278,8 +299,10 @@ impl Unroller {
             1 => ops[0],
             _ => {
                 if let Some(&g) = self.gate_cache.get(&GateKey::And(ops.clone())) {
+                    self.stats.cache_hits += 1;
                     return g;
                 }
+                self.stats.gates += 1;
                 let g = self.fresh_lit();
                 for &lit in &ops {
                     self.cnf.add_clause([g.negated(), lit]);
@@ -323,8 +346,12 @@ impl Unroller {
             std::mem::swap(&mut x, &mut y);
         }
         let g = match self.gate_cache.get(&GateKey::Xor(x, y)) {
-            Some(&g) => g,
+            Some(&g) => {
+                self.stats.cache_hits += 1;
+                g
+            }
             None => {
+                self.stats.gates += 1;
                 let g = self.fresh_lit();
                 self.cnf.add_clause([g.negated(), x, y]);
                 self.cnf.add_clause([g.negated(), x.negated(), y.negated()]);
@@ -354,8 +381,10 @@ impl Unroller {
             return high;
         }
         if let Some(&g) = self.gate_cache.get(&GateKey::Mux(sel, high, low)) {
+            self.stats.cache_hits += 1;
             return g;
         }
+        self.stats.gates += 1;
         let g = self.fresh_lit();
         self.cnf.add_clause([sel.negated(), high.negated(), g]);
         self.cnf.add_clause([sel.negated(), high, g.negated()]);

@@ -19,6 +19,7 @@
 //! O(vars) reset plus an O(clauses) unit re-scan.
 
 use ipcl_expr::{Cnf, Lit};
+use ipcl_trace::{MetricSink, Tracer, Value};
 
 /// Result of [`Solver::solve`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -177,6 +178,51 @@ pub struct SolverStats {
     pub minimized_literals: u64,
 }
 
+impl SolverStats {
+    /// The change since `prev`, an earlier snapshot of the same solver.
+    ///
+    /// The solver accumulates stats across incremental calls; callers that
+    /// want per-call (or per-depth) numbers snapshot [`Solver::stats`]
+    /// before the call and diff afterwards. `learned_clauses` tracks the
+    /// *currently stored* count and can shrink across a database
+    /// reduction, so every field diffs saturating.
+    pub fn delta(&self, prev: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(prev.decisions),
+            propagations: self.propagations.saturating_sub(prev.propagations),
+            binary_propagations: self
+                .binary_propagations
+                .saturating_sub(prev.binary_propagations),
+            conflicts: self.conflicts.saturating_sub(prev.conflicts),
+            learned_clauses: self.learned_clauses.saturating_sub(prev.learned_clauses),
+            restarts: self.restarts.saturating_sub(prev.restarts),
+            reductions: self.reductions.saturating_sub(prev.reductions),
+            removed_clauses: self.removed_clauses.saturating_sub(prev.removed_clauses),
+            minimized_literals: self
+                .minimized_literals
+                .saturating_sub(prev.minimized_literals),
+        }
+    }
+
+    /// Emits every field as a `<prefix>.<field>` counter into `sink`.
+    pub fn emit(&self, sink: &dyn MetricSink, prefix: &str) {
+        sink.counter(&format!("{prefix}.decisions"), self.decisions);
+        sink.counter(&format!("{prefix}.propagations"), self.propagations);
+        sink.counter(
+            &format!("{prefix}.binary_propagations"),
+            self.binary_propagations,
+        );
+        sink.counter(&format!("{prefix}.conflicts"), self.conflicts);
+        sink.counter(&format!("{prefix}.restarts"), self.restarts);
+        sink.counter(&format!("{prefix}.reductions"), self.reductions);
+        sink.counter(&format!("{prefix}.removed_clauses"), self.removed_clauses);
+        sink.counter(
+            &format!("{prefix}.minimized_literals"),
+            self.minimized_literals,
+        );
+    }
+}
+
 const UNASSIGNED_LEVEL: u32 = u32::MAX;
 
 #[derive(Clone, Debug)]
@@ -265,6 +311,9 @@ pub struct Solver {
     unsat: bool,
     config: SolverConfig,
     stats: SolverStats,
+    /// Observability handle; [`Tracer::disabled`] (the default) costs one
+    /// branch per recording site.
+    tracer: Tracer,
 }
 
 impl Solver {
@@ -303,6 +352,7 @@ impl Solver {
             unsat: false,
             config,
             stats: SolverStats::default(),
+            tracer: Tracer::disabled(),
         };
         solver.reserve_vars(num_vars);
         solver
@@ -340,6 +390,14 @@ impl Solver {
     /// The active heuristic configuration.
     pub fn config(&self) -> SolverConfig {
         self.config
+    }
+
+    /// Installs an observability handle. Each [`Solver::solve`] call then
+    /// runs under a profile-only `sat.solve` span and logs
+    /// `solver_restart` / `learned_reduction` events. The default
+    /// [`Tracer::disabled`] costs one branch per site.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Replaces the heuristic configuration (callable between `solve`s).
@@ -945,6 +1003,13 @@ impl Solver {
         self.stats.removed_clauses += remove_count as u64;
         self.learned_count -= remove_count as u64;
         self.stats.learned_clauses -= remove_count as u64;
+        self.tracer.event(
+            "learned_reduction",
+            &[
+                ("removed", Value::U64(remove_count as u64)),
+                ("remaining", Value::U64(self.learned_count)),
+            ],
+        );
     }
 
     // ---- search ----------------------------------------------------------
@@ -1037,6 +1102,19 @@ impl Solver {
     /// Returns [`SatResult::Unsat`] if the formula is unsatisfiable *under
     /// the assumptions* (the formula itself may still be satisfiable).
     pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.tracer.is_enabled() {
+            return self.search(assumptions);
+        }
+        // Profile-only span: PDR issues thousands of sub-millisecond
+        // queries per proof, so per-call events would swamp the log.
+        // Engines emit the accumulated stats as `sat.*` counters once per
+        // run via [`SolverStats::emit`].
+        let tracer = self.tracer.clone();
+        let _span = tracer.span_fast("sat.solve");
+        self.search(assumptions)
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -1092,6 +1170,14 @@ impl Solver {
                 if conflicts_since_restart >= conflicts_until_restart {
                     self.stats.restarts += 1;
                     restarts_done += 1;
+                    self.tracer.event(
+                        "solver_restart",
+                        &[
+                            ("restart", Value::U64(restarts_done)),
+                            ("conflicts", Value::U64(self.stats.conflicts)),
+                            ("interval", Value::U64(conflicts_until_restart)),
+                        ],
+                    );
                     conflicts_since_restart = 0;
                     conflicts_until_restart = self
                         .config
@@ -1767,5 +1853,55 @@ mod tests {
             "lowered base must arm reduction: {:?}",
             solver.stats()
         );
+    }
+
+    #[test]
+    fn stats_delta_isolates_one_call_of_an_incremental_stream() {
+        let cnf = pigeonhole_cnf(5);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+        let after_first = solver.stats();
+        assert!(after_first.conflicts > 0);
+        // A second solver over the same formula: its fresh stats must match
+        // the delta computed over the incremental stream.
+        let mut fresh = Solver::from_cnf(&cnf);
+        assert_eq!(fresh.solve(), SatResult::Unsat);
+        let one_call = fresh.stats();
+        let mut again = Solver::from_cnf(&cnf);
+        assert_eq!(again.solve(), SatResult::Unsat);
+        assert_eq!(again.solve(), SatResult::Unsat);
+        let _cumulative = again.stats();
+        let second_only = again.stats().delta(&one_call);
+        // The repeat call on `again` is cheap (formula already refuted), so
+        // the delta must be far below a from-scratch refutation.
+        assert!(second_only.conflicts <= one_call.conflicts);
+        // Deltas against oneself are zero.
+        let zero = after_first.delta(&after_first);
+        assert_eq!(zero, SolverStats::default());
+    }
+
+    #[test]
+    fn tracer_records_solve_spans_and_restart_events() {
+        use ipcl_trace::{TraceConfig, Tracer};
+        let cnf = pigeonhole_cnf(6);
+        let tracer = Tracer::new(TraceConfig::enabled());
+        let mut solver = Solver::from_cnf(&cnf);
+        solver.set_tracer(tracer.clone());
+        assert_eq!(solver.solve(), SatResult::Unsat);
+        let snapshot = tracer.snapshot().unwrap();
+        let solve = snapshot
+            .spans
+            .iter()
+            .find(|s| s.path == ["sat.solve"])
+            .expect("sat.solve span recorded");
+        assert_eq!(solve.count, 1);
+        assert!(
+            snapshot.events.iter().any(|e| e.kind == "solver_restart"),
+            "pigeonhole(6) restarts at least once"
+        );
+        // The stats delta emits through the MetricSink unification.
+        solver.stats().emit(&tracer, "sat");
+        let snapshot = tracer.snapshot().unwrap();
+        assert_eq!(snapshot.counters["sat.conflicts"], solver.stats().conflicts);
     }
 }

@@ -52,3 +52,4 @@ pub use ipcl_pipesim as pipesim;
 pub use ipcl_rtl as rtl;
 pub use ipcl_sat as sat;
 pub use ipcl_synth as synth;
+pub use ipcl_trace as trace;

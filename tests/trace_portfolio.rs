@@ -1,0 +1,216 @@
+//! Integration tests of the observability layer (ISSUE 6): a fully traced
+//! BMC/PDR portfolio race on the `deep_pipeline(16)` workload.
+//!
+//! The acceptance criteria exercised here:
+//!
+//! * the span profile covers ≥ 95% of the traced wall-clock;
+//! * `trace.jsonl` round-trips through the report renderer (serialise →
+//!   parse → identical events);
+//! * span nesting reconstructs into a well-nested per-thread tree from the
+//!   JSONL alone, under the portfolio's two racing engine threads;
+//! * sequence numbers are strictly monotone per thread;
+//! * the unified metrics cover all three stat families (solver, PDR,
+//!   encoder) plus the satellite obligation-queue statistics;
+//! * the checker-level `SequentialOptions::trace` plumbing produces a
+//!   snapshot with replayable structure on a falsified design.
+
+use ipcl::checker::{
+    check_netlist_sequential_with, Engine, Latency, SequentialOptions, TraceConfig, Tracer,
+};
+use ipcl::core::example::ExampleArch;
+use ipcl::pdr::deep::deep_pipeline;
+use ipcl::pdr::{check_property_portfolio_traced, PdrOptions, PortfolioWinner};
+use ipcl::pipesim::BrokenVariant;
+use ipcl::synth::synthesize_broken_interlock;
+use ipcl::trace::report;
+use ipcl_bmc::{BmcOptions, PropertyKind, SequentialProperty};
+
+/// One traced deep-chain-16 portfolio run, shared by the assertions below.
+fn traced_deep_chain_snapshot() -> ipcl::trace::TraceSnapshot {
+    let (spec, netlist) = deep_pipeline(16);
+    let property =
+        SequentialProperty::for_stage(&spec, 0, PropertyKind::Performance, Latency::Combinational);
+    let tracer = Tracer::new(TraceConfig::enabled());
+    let result = check_property_portfolio_traced(
+        &spec,
+        &netlist,
+        &property,
+        &BmcOptions::with_depth(13),
+        &PdrOptions::default(),
+        &tracer,
+    )
+    .expect("netlist elaborates");
+    assert_eq!(
+        result.winner,
+        Some(PortfolioWinner::Pdr),
+        "only PDR can prove deep-chain-16"
+    );
+    tracer.snapshot().expect("enabled tracer yields a snapshot")
+}
+
+#[test]
+fn traced_portfolio_covers_wall_time_and_round_trips() {
+    let snapshot = traced_deep_chain_snapshot();
+
+    // ---- Span coverage: the portfolio.race span on the caller thread must
+    // account for >= 95% of everything the tracer saw.
+    let race_us = snapshot
+        .spans
+        .iter()
+        .find(|s| s.path == ["portfolio.race"])
+        .map(|s| s.total_us)
+        .expect("the race span is profiled");
+    let coverage = race_us as f64 / snapshot.wall_us.max(1) as f64;
+    assert!(
+        coverage >= 0.95,
+        "span tree covers {:.1}% of wall time",
+        coverage * 100.0
+    );
+
+    // Both engines' spans are present, nested under their own threads.
+    for path in [
+        vec!["bmc.check"],
+        vec!["bmc.check", "bmc.encode"],
+        vec!["pdr.check"],
+        vec!["pdr.check", "pdr.generalize"],
+        vec!["pdr.check", "pdr.propagate"],
+        vec!["pdr.check", "pdr.validate"],
+    ] {
+        assert!(
+            snapshot.spans.iter().any(|s| s.path == path),
+            "missing span path {path:?}"
+        );
+    }
+
+    // ---- Round-trip: events → JSONL → parse → identical events.
+    let jsonl = report::events_jsonl(&snapshot);
+    let parsed = report::parse_jsonl(&jsonl).expect("trace.jsonl parses");
+    assert_eq!(parsed, snapshot.events);
+
+    // The profile JSON renders and mentions the race span.
+    let profile = report::profile_json(&snapshot);
+    assert!(profile.contains("portfolio.race"));
+    assert!(report::render_profile(&snapshot).contains("pdr.generalize"));
+}
+
+#[test]
+fn traced_portfolio_spans_nest_per_thread_and_seqs_are_monotone() {
+    let snapshot = traced_deep_chain_snapshot();
+
+    // ---- Well-nested span reconstruction from the JSONL alone, with two
+    // engine threads racing: enter/exit pairs must balance per thread.
+    let jsonl = report::events_jsonl(&snapshot);
+    let parsed = report::parse_jsonl(&jsonl).expect("trace.jsonl parses");
+    let reconstructed =
+        report::reconstruct_spans(&parsed).expect("span events are well-nested per thread");
+    assert!(
+        reconstructed.iter().any(|s| s.path == ["portfolio.race"]),
+        "caller thread's race span reconstructs"
+    );
+    assert!(
+        reconstructed
+            .iter()
+            .any(|s| s.path == ["pdr.check", "pdr.propagate"]),
+        "PDR racer's nested spans reconstruct"
+    );
+    assert!(
+        reconstructed.iter().any(|s| s.path == ["bmc.check"]),
+        "BMC racer's span reconstructs"
+    );
+    // The two racers ran on distinct threads.
+    let threads: std::collections::BTreeSet<u64> = reconstructed.iter().map(|s| s.thread).collect();
+    assert!(
+        threads.len() >= 3,
+        "caller + two racers, got threads {threads:?}"
+    );
+
+    // ---- Sequence numbers: strictly monotone per thread (and globally
+    // unique, since they are drawn from one atomic counter).
+    let mut last_by_thread = std::collections::BTreeMap::new();
+    let mut all_seqs = std::collections::BTreeSet::new();
+    for event in &snapshot.events {
+        if let Some(prev) = last_by_thread.insert(event.thread, event.seq) {
+            assert!(
+                event.seq > prev,
+                "thread {} seq went {} -> {}",
+                event.thread,
+                prev,
+                event.seq
+            );
+        }
+        assert!(all_seqs.insert(event.seq), "duplicate seq {}", event.seq);
+    }
+
+    // ---- The event log carries the portfolio handshake and the per-frame
+    // obligation traffic.
+    let kinds: std::collections::BTreeSet<&str> =
+        snapshot.events.iter().map(|e| e.kind.as_ref()).collect();
+    for kind in [
+        "portfolio_cancel",
+        "portfolio_verdict",
+        "pdr_obligation",
+        "bmc_depth",
+    ] {
+        assert!(kinds.contains(kind), "missing event kind {kind}: {kinds:?}");
+    }
+
+    // ---- Unified metrics: all three stat families report through the one
+    // sink, including the satellite queue statistics.
+    for counter in ["sat.conflicts", "pdr.obligations", "unroll.pdr.gates"] {
+        assert!(
+            snapshot.counters.contains_key(counter),
+            "missing counter {counter}"
+        );
+    }
+    assert!(
+        snapshot
+            .gauges
+            .get("pdr.max_queue_depth")
+            .copied()
+            .unwrap_or(0.0)
+            >= 1.0,
+        "the PDR obligation queue must have been non-trivial"
+    );
+}
+
+#[test]
+fn sequential_checker_trace_config_produces_snapshot_with_replays() {
+    // The checker-level plumbing: a falsified design traced end-to-end
+    // through `SequentialOptions::trace` yields replay_verdict events and a
+    // checker-rooted span tree; with the default (disabled) config the
+    // report carries no snapshot.
+    let spec = ExampleArch::new().functional_spec();
+    let broken = synthesize_broken_interlock(&spec, BrokenVariant::IgnoreScoreboard);
+
+    let options = SequentialOptions {
+        trace: TraceConfig::enabled(),
+        ..SequentialOptions::from(Engine::Portfolio)
+    };
+    let report = check_netlist_sequential_with(&spec, broken.netlist(), &options).unwrap();
+    assert!(report.falsified());
+    let snapshot = report.trace.as_ref().expect("tracing was enabled");
+    assert!(
+        snapshot
+            .spans
+            .iter()
+            .any(|s| s.path == ["checker.sequential"]),
+        "the checker's root span is profiled"
+    );
+    let replays: Vec<_> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.kind == "replay_verdict")
+        .collect();
+    assert!(!replays.is_empty(), "falsifications emit replay verdicts");
+    for event in replays {
+        assert_eq!(
+            event.field("reproduced"),
+            Some(&ipcl::trace::Value::Bool(true))
+        );
+    }
+
+    let untraced =
+        check_netlist_sequential_with(&spec, broken.netlist(), &SequentialOptions::default())
+            .unwrap();
+    assert!(untraced.trace.is_none(), "tracing defaults to off");
+}
