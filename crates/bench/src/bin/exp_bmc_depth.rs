@@ -8,24 +8,27 @@
 //!   via assumptions, learned clauses retained;
 //! * `scratch` — a fresh unrolling and solver per depth.
 //!
-//! Emits a JSON array (one object per `(mode, depth)` point) with wall-clock
-//! solve time, clause counts and CDCL statistics — cumulative over the run
-//! *and* the per-depth delta of the final depth's base solve (isolated from
-//! the incremental stream via `SolverStats::delta`) — to seed the
-//! benchmarking trajectory of the repository. The incremental path should
-//! be measurably faster and its advantage should grow with depth.
+//! Emits a `BENCH_*.json` document (one entry per `(mode, depth)` point)
+//! with wall-clock solve time, clause counts and CDCL statistics —
+//! cumulative over the run *and* the per-depth delta of the final depth's
+//! base solve (isolated from the incremental stream via
+//! `SolverStats::delta`) — to seed the benchmarking trajectory of the
+//! repository. The incremental path should be measurably faster and its
+//! advantage should grow with depth.
 //!
-//! `--trace <dir>` / `--profile` enable the `ipcl-trace` observability
-//! layer (see [`ipcl_bench::TraceArgs`]).
+//! `--smoke` shrinks the depth sweep for CI; `--trace <dir>` /
+//! `--profile` / `--watch` enable the `ipcl-trace` observability layer
+//! (see [`ipcl_bench::TraceArgs`]).
 
 use std::time::Instant;
 
-use ipcl_bench::TraceArgs;
+use ipcl_bench::{emit_bench_json, TraceArgs};
 use ipcl_bmc::{check_property_traced, BmcOptions, Latency, PropertyKind, SequentialProperty};
 use ipcl_core::example::ExampleArch;
 use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
 
 fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
     let trace = TraceArgs::from_env();
     let spec = ExampleArch::new().functional_spec();
     let synthesized = synthesize_interlock_with(
@@ -49,10 +52,15 @@ fn main() {
         &ipcl_trace::Tracer::disabled(),
     );
 
+    let depths: &[usize] = if smoke {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4, 6, 8, 12, 16, 24, 32]
+    };
     let mut entries = Vec::new();
     let mut incremental_total = 0.0f64;
     let mut scratch_total = 0.0f64;
-    for depth in [1usize, 2, 4, 6, 8, 12, 16, 24, 32] {
+    for &depth in depths {
         for (mode, incremental) in [("incremental", true), ("scratch", false)] {
             let options = BmcOptions {
                 max_depth: depth,
@@ -108,9 +116,7 @@ fn main() {
             ));
         }
     }
-    println!("[");
-    println!("{}", entries.join(",\n"));
-    println!("]");
+    emit_bench_json("bmc_depth", smoke, &entries);
     eprintln!(
         "total solve time: incremental {incremental_total:.1} ms, scratch {scratch_total:.1} ms \
          ({:.2}x)",

@@ -17,15 +17,15 @@
 //! disabled, quantifying the satellite optimisation of ISSUE 2 (the
 //! ablation rows have `"phase_saving": false`).
 //!
-//! Emits a JSON array on stdout (one object per point) for the
-//! `BENCH_*.json` trajectory; `--smoke` shrinks the sweep for CI. PDR rows
-//! carry the obligation-queue shape (`max_queue_depth`,
-//! `frame_obligations`). `--trace <dir>` / `--profile` enable the
-//! `ipcl-trace` observability layer (see [`ipcl_bench::TraceArgs`]).
+//! Emits a `BENCH_*.json` document on stdout (one entry per point);
+//! `--smoke` shrinks the sweep for CI. PDR rows carry the
+//! obligation-queue shape (`max_queue_depth`, `frame_obligations`).
+//! `--trace <dir>` / `--profile` / `--watch` enable the `ipcl-trace`
+//! observability layer (see [`ipcl_bench::TraceArgs`]).
 
 use std::time::Instant;
 
-use ipcl_bench::TraceArgs;
+use ipcl_bench::{emit_bench_json, TraceArgs};
 use ipcl_bmc::{
     check_property_traced, BmcOptions, BmcOutcome, Latency, PropertyKind, SequentialProperty,
 };
@@ -291,9 +291,7 @@ fn main() {
         ));
     }
 
-    println!("[");
-    println!("{}", entries.join(",\n"));
-    println!("]");
+    emit_bench_json("pdr_vs_kinduction", smoke, &entries);
     eprintln!(
         "{} workloads × (kinduction, pdr) × (phase saving on/off) + portfolio: {} points",
         workloads.len(),

@@ -22,20 +22,20 @@
 //!   — repeated re-solves under assumptions with clause addition between
 //!   calls.
 //!
-//! Emits a JSON array (one object per `(workload, config)` point); BMC
-//! rows include the final depth's isolated solve counts
+//! Emits a `BENCH_*.json` document (one entry per `(workload, config)`
+//! point); BMC rows include the final depth's isolated solve counts
 //! (`last_depth_*`, via `SolverStats::delta`). `--smoke` shrinks the
 //! sweep for CI; the full run asserts the acceptance criterion of
 //! ISSUE 3: at least one workload speeds up ≥ 2× and none regresses by
-//! more than 10%. `--trace <dir>` / `--profile` enable the `ipcl-trace`
-//! observability layer (see [`ipcl_bench::TraceArgs`]).
+//! more than 10%. `--trace <dir>` / `--profile` / `--watch` enable the
+//! `ipcl-trace` observability layer (see [`ipcl_bench::TraceArgs`]).
 
 use std::time::Instant;
 
 /// A boxed workload runner: `SolverConfig` in, measured point out.
 type Runner = Box<dyn Fn(SolverConfig) -> Point>;
 
-use ipcl_bench::{pigeonhole_cnf, TraceArgs};
+use ipcl_bench::{emit_bench_json, pigeonhole_cnf, TraceArgs};
 use ipcl_bmc::{check_property_traced, BmcOptions, Latency, PropertyKind, SequentialProperty};
 use ipcl_core::example::ExampleArch;
 use ipcl_pdr::deep::deep_pipeline;
@@ -243,9 +243,7 @@ fn main() {
         eprintln!("{name}: baseline/optimized = {speedup:.2}x");
     }
 
-    println!("[");
-    println!("{}", entries.join(",\n"));
-    println!("]");
+    emit_bench_json("solver_opts", smoke, &entries);
 
     if !smoke {
         let best = speedups

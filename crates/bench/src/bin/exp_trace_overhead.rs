@@ -19,12 +19,13 @@
 //!   ([`ipcl_trace::report::reconstruct_spans`]) even with two racer
 //!   threads interleaving their event streams.
 //!
-//! Emits a JSON array with both timings and the derived overhead ratio.
-//! `--trace <dir>` / `--profile` emit the portfolio run's artifacts.
+//! Emits a `BENCH_*.json` document with both timings and the derived
+//! overhead ratio. `--trace <dir>` / `--profile` emit the portfolio run's
+//! artifacts.
 
 use std::time::Instant;
 
-use ipcl_bench::TraceArgs;
+use ipcl_bench::{emit_bench_json, TraceArgs};
 use ipcl_bmc::{BmcOptions, Latency, PropertyKind, SequentialProperty};
 use ipcl_pdr::deep::deep_pipeline;
 use ipcl_pdr::{check_property_pdr_traced, check_property_portfolio_traced, PdrOptions};
@@ -144,8 +145,7 @@ fn main() {
         );
     }
 
-    println!("[");
-    println!(
+    let entries = vec![format!(
         concat!(
             "  {{\"experiment\": \"trace_overhead\", \"workload\": \"deep-chain-{}\", ",
             "\"disabled_ms\": {:.3}, \"enabled_ms\": {:.3}, \"overhead\": {:.4}, ",
@@ -160,8 +160,8 @@ fn main() {
         coverage,
         snapshot.events.len(),
         snapshot.dropped_events,
-    );
-    println!("]");
+    )];
+    emit_bench_json("trace_overhead", smoke, &entries);
     eprintln!(
         "deep-chain-{CHAIN_DEPTH} PDR: disabled {disabled_ms:.2} ms, \
          enabled {enabled_ms:.2} ms ({:+.2}%); traced portfolio {portfolio_ms:.2} ms, \

@@ -6,12 +6,14 @@
 //! Criterion benchmarks in `benches/` cover the scaling/ablation studies.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use ipcl_core::fixpoint::derive_symbolic;
 use ipcl_core::{ArchSpec, FunctionalSpec};
 use ipcl_expr::{Cnf, Expr, Lit};
 use ipcl_pipesim::{Machine, SimStats, WorkloadConfig};
 use ipcl_trace::{report, TraceConfig, Tracer};
+use ipcl_tracetool::Watcher;
 
 /// Observability flags shared by the experiment binaries.
 ///
@@ -19,24 +21,33 @@ use ipcl_trace::{report, TraceConfig, Tracer};
 ///   `trace.jsonl` (the structured event log) and `profile.json` (the span
 ///   profile + unified metrics) into `<dir>`;
 /// * `--profile` enables tracing and prints the human-readable profile
-///   summary to stderr (where it cannot corrupt the JSON on stdout).
+///   summary to stderr (where it cannot corrupt the JSON on stdout);
+/// * `--watch` enables tracing and redraws a live progress line on stderr
+///   from the engines' `heartbeat` events while the run is in flight
+///   ([`ipcl_tracetool::Watcher`]).
 ///
-/// Without either flag the returned tracer is the disabled (zero-cost) one,
-/// so instrumented experiments measure the same code path as before.
+/// Without any of the flags the returned tracer is the disabled
+/// (zero-cost) one, so instrumented experiments measure the same code path
+/// as before.
 pub struct TraceArgs {
     /// Artifact directory of `--trace`, when given.
     pub dir: Option<PathBuf>,
     /// Whether `--profile` was given.
     pub profile: bool,
+    /// Whether `--watch` was given.
+    pub watch: bool,
     tracer: Tracer,
+    watcher: Option<Watcher>,
 }
 
 impl TraceArgs {
-    /// Parses `--trace <dir>` / `--profile` from the process arguments.
+    /// Parses `--trace <dir>` / `--profile` / `--watch` from the process
+    /// arguments.
     pub fn from_env() -> TraceArgs {
         let args: Vec<String> = std::env::args().collect();
         let mut dir = None;
         let mut profile = false;
+        let mut watch = false;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -47,19 +58,23 @@ impl TraceArgs {
                     i += 1;
                 }
                 "--profile" => profile = true,
+                "--watch" => watch = true,
                 _ => {}
             }
             i += 1;
         }
-        let tracer = if dir.is_some() || profile {
+        let tracer = if dir.is_some() || profile || watch {
             Tracer::new(TraceConfig::enabled())
         } else {
             Tracer::disabled()
         };
+        let watcher = watch.then(|| Watcher::spawn(tracer.clone(), Duration::from_millis(100)));
         TraceArgs {
             dir,
             profile,
+            watch,
             tracer,
+            watcher,
         }
     }
 
@@ -68,12 +83,16 @@ impl TraceArgs {
         &self.tracer
     }
 
-    /// Writes the requested artifacts / prints the profile summary.
+    /// Stops the watcher, writes the requested artifacts and prints the
+    /// profile summary.
     ///
     /// # Panics
     ///
     /// When the `--trace` directory cannot be written.
-    pub fn finish(&self) {
+    pub fn finish(mut self) {
+        if let Some(watcher) = self.watcher.take() {
+            watcher.stop();
+        }
         let Some(snapshot) = self.tracer.snapshot() else {
             return;
         };
@@ -90,6 +109,35 @@ impl TraceArgs {
             eprint!("{}", report::render_profile(&snapshot));
         }
     }
+}
+
+/// Prints a `BENCH_*.json` document — the shared v1 header object wrapping
+/// the experiment's measurement entries — to stdout.
+///
+/// Every experiment binary routes its output through this helper so the
+/// artifacts carry a uniform schema for `ipcl-tracetool regress`:
+/// `schema_version`, the experiment id, whether this was a `--smoke` run,
+/// and the commit under measurement (`IPCL_COMMIT`, else the `GITHUB_SHA`
+/// CI provides, else `null`).
+///
+/// `entries` are pre-rendered JSON objects, one per measurement point.
+pub fn emit_bench_json(experiment: &str, smoke: bool, entries: &[String]) {
+    let commit = std::env::var("IPCL_COMMIT")
+        .or_else(|_| std::env::var("GITHUB_SHA"))
+        .ok()
+        .filter(|sha| !sha.is_empty() && sha.chars().all(|c| c.is_ascii_alphanumeric()));
+    println!("{{");
+    println!("\"schema_version\": 1,");
+    println!("\"experiment\": \"{experiment}\",");
+    println!("\"smoke\": {smoke},");
+    match commit {
+        Some(sha) => println!("\"commit\": \"{sha}\","),
+        None => println!("\"commit\": null,"),
+    }
+    println!("\"entries\": [");
+    println!("{}", entries.join(",\n"));
+    println!("]");
+    println!("}}");
 }
 
 /// The pigeonhole principle `PHP(n, n−1)` as CNF: `n` pigeons into `n − 1`

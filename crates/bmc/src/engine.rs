@@ -32,7 +32,7 @@ use ipcl_core::FunctionalSpec;
 use ipcl_expr::{Lit, VarId};
 use ipcl_rtl::{InitialState, Netlist, RtlError};
 use ipcl_sat::{SatResult, Solver, SolverConfig};
-use ipcl_trace::{MetricSink, Tracer, Value};
+use ipcl_trace::{Heartbeat, MetricSink, Tracer, Value};
 
 use crate::encode::{FrameEncoder, SolverSync};
 use crate::property::SequentialProperty;
@@ -334,6 +334,9 @@ pub fn check_property_traced(
     let mut induction: Option<Run> = None;
     // `ok` literals of instances already assumed in the induction unrolling.
     let mut induction_assumed: Vec<Lit> = Vec::new();
+    // Live-progress beats, once per depth at most (rate-limited): a deep
+    // unrolling announces how far it has come while still running.
+    let mut heartbeat = Heartbeat::every_ms(ipcl_sat::HEARTBEAT_MS);
 
     let first = property.latency.first_instance();
     for moe_frame in first..=options.max_depth.max(first) {
@@ -341,6 +344,17 @@ pub fn check_property_traced(
             break;
         }
         stats.depth_reached = moe_frame;
+        if heartbeat.due(tracer) {
+            tracer.event(
+                "heartbeat",
+                &[
+                    ("engine", Value::from("bmc")),
+                    ("depth", Value::U64(moe_frame as u64)),
+                    ("max_depth", Value::U64(options.max_depth as u64)),
+                    ("solve_calls", Value::U64(stats.solve_calls as u64)),
+                ],
+            );
+        }
 
         // ---- Base case: a reset-rooted violation at exactly this depth?
         let base_result = if let Some(run) = base.as_mut() {

@@ -46,7 +46,7 @@ use ipcl_core::FunctionalSpec;
 use ipcl_expr::{Lit, VarId};
 use ipcl_rtl::{InitialState, Netlist, SignalId, SignalKind};
 use ipcl_sat::{SatResult, Solver, SolverConfig};
-use ipcl_trace::{MetricSink, Tracer, Value};
+use ipcl_trace::{Heartbeat, MetricSink, Tracer, Value};
 
 use crate::certificate::{Certificate, CertificateCheck, StateLiteral};
 
@@ -244,6 +244,9 @@ struct Pdr<'a> {
     frame_cubes: Vec<Vec<Cube>>,
     stats: PdrStats,
     tracer: Tracer,
+    /// Live-progress beats (rate-limited), checked per obligation pop and
+    /// per frame open — a deep proof reports its frontier while running.
+    heartbeat: Heartbeat,
 }
 
 impl<'a> Pdr<'a> {
@@ -304,6 +307,7 @@ impl<'a> Pdr<'a> {
             frame_cubes: vec![Vec::new()],
             stats: PdrStats::default(),
             tracer: tracer.clone(),
+            heartbeat: Heartbeat::every_ms(ipcl_sat::HEARTBEAT_MS),
         })
     }
 
@@ -554,6 +558,28 @@ impl<'a> Pdr<'a> {
                 ("queue", Value::U64(queue_len as u64)),
             ],
         );
+        self.emit_heartbeat(frame, queue_len);
+    }
+
+    /// Emits a live-progress `heartbeat` event (rate-limited; see
+    /// [`Heartbeat`]): the current obligation frame, the top frame of the
+    /// trailing sequence, the queue depth, and the obligations/clauses
+    /// totals so far.
+    fn emit_heartbeat(&mut self, frame: usize, queue_len: usize) {
+        if !self.heartbeat.due(&self.tracer) {
+            return;
+        }
+        self.tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("pdr")),
+                ("frame", Value::U64(frame as u64)),
+                ("top_frame", Value::U64(self.top() as u64)),
+                ("queue", Value::U64(queue_len as u64)),
+                ("obligations", Value::U64(self.stats.obligations)),
+                ("clauses", Value::U64(self.stats.clauses as u64)),
+            ],
+        );
     }
 
     /// Reconstructs the counterexample trace ending at the obligation
@@ -714,6 +740,7 @@ impl<'a> Pdr<'a> {
                 };
             }
             self.push_frame();
+            self.emit_heartbeat(self.top(), 0);
             if let Some(fixpoint) = self.propagate() {
                 return PdrOutcome::Proved {
                     certificate: self.certificate(fixpoint),

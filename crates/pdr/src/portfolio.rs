@@ -164,6 +164,16 @@ pub fn check_property_portfolio_traced(
     tracer: &Tracer,
 ) -> Result<PortfolioResult, BmcError> {
     let _span = tracer.span("portfolio.race");
+    // Announce the race on the live-progress feed; the racers' own
+    // `heartbeat` events (engine = "bmc" / "pdr" / "sat") take over from
+    // here, and `portfolio_cancel` / `portfolio_verdict` close it out.
+    tracer.event(
+        "heartbeat",
+        &[
+            ("engine", Value::from("portfolio")),
+            ("property", Value::Str(property.name.clone().into())),
+        ],
+    );
 
     // Align the BMC racer with PDR's unconditional semantics.
     let bmc_options = BmcOptions {

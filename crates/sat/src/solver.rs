@@ -19,7 +19,12 @@
 //! O(vars) reset plus an O(clauses) unit re-scan.
 
 use ipcl_expr::{Cnf, Lit};
-use ipcl_trace::{MetricSink, Tracer, Value};
+use ipcl_trace::{Heartbeat, MetricSink, Tracer, Value};
+
+/// Minimum spacing of the live-progress `heartbeat` events (the `--watch`
+/// feed). Shared by every engine in the workspace so one watch line ticks
+/// at a uniform rate.
+pub const HEARTBEAT_MS: u64 = 250;
 
 /// Result of [`Solver::solve`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -314,6 +319,11 @@ pub struct Solver {
     /// Observability handle; [`Tracer::disabled`] (the default) costs one
     /// branch per recording site.
     tracer: Tracer,
+    /// Rate limiter of the live-progress `heartbeat` events (checked at
+    /// restarts only, so the search loop never reads the clock).
+    heartbeat: Heartbeat,
+    /// Stats at the last heartbeat, for since-last-beat deltas.
+    beat_base: SolverStats,
 }
 
 impl Solver {
@@ -353,6 +363,8 @@ impl Solver {
             config,
             stats: SolverStats::default(),
             tracer: Tracer::disabled(),
+            heartbeat: Heartbeat::every_ms(HEARTBEAT_MS),
+            beat_base: SolverStats::default(),
         };
         solver.reserve_vars(num_vars);
         solver
@@ -1111,7 +1123,35 @@ impl Solver {
         // run via [`SolverStats::emit`].
         let tracer = self.tracer.clone();
         let _span = tracer.span_fast("sat.solve");
+        self.emit_heartbeat();
         self.search(assumptions)
+    }
+
+    /// Emits a live-progress `heartbeat` event (rate-limited; see
+    /// [`Heartbeat`]) carrying the conflict/restart/propagation work done
+    /// since the last beat, plus running totals. Checked at restarts and
+    /// at traced `solve` entries only, so the inner search loop never
+    /// reads the clock.
+    fn emit_heartbeat(&mut self) {
+        if !self.heartbeat.due(&self.tracer) {
+            return;
+        }
+        let delta = self.stats.delta(&self.beat_base);
+        self.tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("sat")),
+                ("conflicts", Value::U64(delta.conflicts)),
+                ("restarts", Value::U64(delta.restarts)),
+                (
+                    "propagations",
+                    Value::U64(delta.propagations + delta.binary_propagations),
+                ),
+                ("total_conflicts", Value::U64(self.stats.conflicts)),
+                ("total_restarts", Value::U64(self.stats.restarts)),
+            ],
+        );
+        self.beat_base = self.stats;
     }
 
     fn search(&mut self, assumptions: &[Lit]) -> SatResult {
@@ -1178,6 +1218,7 @@ impl Solver {
                             ("interval", Value::U64(conflicts_until_restart)),
                         ],
                     );
+                    self.emit_heartbeat();
                     conflicts_since_restart = 0;
                     conflicts_until_restart = self
                         .config

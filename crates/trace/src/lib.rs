@@ -46,7 +46,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Tracer`]. `Copy`, so it can ride along in the
 /// engines' option structs (e.g. `SequentialOptions`).
@@ -399,6 +399,38 @@ impl Tracer {
         }
     }
 
+    /// Whether event recording is active (false for a disabled tracer and
+    /// for a profile-only configuration).
+    pub fn events_enabled(&self) -> bool {
+        self.core.as_ref().is_some_and(|core| core.config.events)
+    }
+
+    /// Copies out the stored events with `seq >= seq_floor`, without
+    /// freezing a full snapshot. This is the live-progress poll path (a
+    /// `--watch` renderer calls it a few times per second): the caller
+    /// tracks the highest sequence number it has seen and passes
+    /// `last + 1`. Returns an empty vector for a disabled tracer.
+    ///
+    /// Sequence numbers are assigned before the log lock is taken, so a
+    /// concurrent writer's event may briefly be missing from one poll and
+    /// appear in the next with a smaller number than the floor — harmless
+    /// for progress display, which only renders the latest beat per
+    /// engine.
+    pub fn events_since(&self, seq_floor: u64) -> Vec<Event> {
+        match &self.core {
+            None => Vec::new(),
+            Some(core) => core
+                .events
+                .lock()
+                .expect("event log lock")
+                .events
+                .iter()
+                .filter(|event| event.seq >= seq_floor)
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Freezes the collected data. The tracer stays usable afterwards (the
     /// snapshot is a copy).
     pub fn snapshot(&self) -> Option<TraceSnapshot> {
@@ -441,6 +473,56 @@ impl MetricSink for Tracer {
         let Some(core) = &self.core else { return };
         let mut gauges = core.gauges.lock().expect("gauge lock");
         gauges.insert(name.to_owned(), value);
+    }
+}
+
+/// Rate limiter for periodic `heartbeat` events emitted from inside the
+/// engines' hot loops (BMC depth reached, PDR obligation-queue depth,
+/// solver conflicts since the last beat), so a long-running proof is
+/// observable while in flight instead of a silent black box.
+///
+/// Usage: hold one per engine run and guard the emission site with
+/// [`Heartbeat::due`]. The first call after construction is always due
+/// (every traced run emits at least one beat, however short), later calls
+/// are due once per interval. When the tracer is disabled — or events are
+/// off — `due` is a branch or two with **no clock read**, preserving the
+/// zero-cost contract of the disabled path.
+#[derive(Clone, Debug)]
+pub struct Heartbeat {
+    interval: Duration,
+    last: Option<Instant>,
+}
+
+impl Heartbeat {
+    /// A heartbeat firing at most once per `interval`.
+    pub fn new(interval: Duration) -> Self {
+        Heartbeat {
+            interval,
+            last: None,
+        }
+    }
+
+    /// A heartbeat firing at most once per `ms` milliseconds.
+    pub fn every_ms(ms: u64) -> Self {
+        Heartbeat::new(Duration::from_millis(ms))
+    }
+
+    /// Whether a beat is due now. `false` (without reading the clock) when
+    /// `tracer` does not record events; otherwise true on the first call
+    /// and thereafter once per interval. A `true` return arms the next
+    /// interval — call it only when about to emit.
+    pub fn due(&mut self, tracer: &Tracer) -> bool {
+        if !tracer.events_enabled() {
+            return false;
+        }
+        let now = Instant::now();
+        match self.last {
+            Some(prev) if now.duration_since(prev) < self.interval => false,
+            _ => {
+                self.last = Some(now);
+                true
+            }
+        }
     }
 }
 
@@ -565,6 +647,14 @@ pub struct TraceSnapshot {
 }
 
 impl TraceSnapshot {
+    /// The profile entry at exactly `path`, if recorded. The lookup the
+    /// export/diff consumers (`ipcl-tracetool`) lean on.
+    pub fn span(&self, path: &[&str]) -> Option<&SpanProfile> {
+        self.spans
+            .iter()
+            .find(|s| s.path.len() == path.len() && s.path.iter().zip(path).all(|(a, b)| a == b))
+    }
+
     /// Total microseconds of the root spans (paths of length 1) — the
     /// portion of the run covered by the profile tree. With racing engine
     /// threads each contributing a root, this may exceed `wall_us`.
@@ -703,6 +793,55 @@ mod tests {
                 last.insert(thread, seq);
             }
         }
+    }
+
+    #[test]
+    fn events_since_filters_by_sequence_number() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        for i in 0..5u64 {
+            tracer.event("tick", &[("i", Value::U64(i))]);
+        }
+        let all = tracer.events_since(0);
+        assert_eq!(all.len(), 5);
+        let tail = tracer.events_since(all[3].seq);
+        assert_eq!(tail.len(), 2);
+        assert!(Tracer::disabled().events_since(0).is_empty());
+    }
+
+    #[test]
+    fn snapshot_span_lookup_finds_exact_paths() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        {
+            let _outer = tracer.span("outer");
+            let _inner = tracer.span("inner");
+        }
+        let snapshot = tracer.snapshot().unwrap();
+        assert!(snapshot.span(&["outer"]).is_some());
+        assert!(snapshot.span(&["outer", "inner"]).is_some());
+        assert!(snapshot.span(&["inner"]).is_none());
+    }
+
+    #[test]
+    fn heartbeat_fires_immediately_then_rate_limits() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        let mut beat = Heartbeat::new(Duration::from_secs(3600));
+        assert!(beat.due(&tracer), "first call is always due");
+        assert!(!beat.due(&tracer), "second call inside the interval");
+        let mut eager = Heartbeat::new(Duration::ZERO);
+        assert!(eager.due(&tracer));
+        assert!(eager.due(&tracer), "zero interval is always due");
+    }
+
+    #[test]
+    fn heartbeat_is_never_due_without_event_recording() {
+        let mut beat = Heartbeat::every_ms(0);
+        assert!(!beat.due(&Tracer::disabled()));
+        let profile_only = Tracer::new(TraceConfig {
+            events: false,
+            ..TraceConfig::enabled()
+        });
+        assert!(!beat.due(&profile_only));
+        assert!(beat.last.is_none(), "no clock read on the disabled path");
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! `ipcl-tracetool` — the command-line surface of the trace analytics
+//! crate.
+//!
+//! ```text
+//! ipcl-tracetool export --trace trace.jsonl [--chrome out] [--profile profile.json --folded out]
+//! ipcl-tracetool diff <before-profile.json> <after-profile.json> [--threshold R] [--min-us N] [--json] [--gate]
+//! ipcl-tracetool regress --baseline <file|dir> --current <file|dir> [--tolerances file] [--json]
+//! ```
+//!
+//! `diff --gate` and `regress` exit non-zero when the comparison trips,
+//! so both slot directly into CI.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ipcl_tracetool::{
+    check, chrome_trace, folded_stacks_from_profile, BenchFile, ProfileDiff, ProfileDoc, Tolerances,
+};
+
+const USAGE: &str = "usage:
+  ipcl-tracetool export --trace <trace.jsonl> [--chrome <out.json>]
+                        [--profile <profile.json>] [--folded <out.folded>]
+  ipcl-tracetool diff <before-profile.json> <after-profile.json>
+                        [--threshold <rel>] [--min-us <us>] [--json] [--gate]
+  ipcl-tracetool regress --baseline <file|dir> --current <file|dir>
+                        [--tolerances <file>] [--json]";
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn write(path: &Path, text: &str) -> Result<(), String> {
+    fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `--flag value` extraction: removes the pair from `args`.
+fn take_option(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(at) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Ok(Some(value))
+}
+
+/// Bare `--flag` extraction.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(at) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(at);
+    true
+}
+
+fn cmd_export(mut args: Vec<String>) -> Result<(), String> {
+    let trace_path = take_option(&mut args, "--trace")?;
+    let chrome_path = take_option(&mut args, "--chrome")?;
+    let profile_path = take_option(&mut args, "--profile")?;
+    let folded_path = take_option(&mut args, "--folded")?;
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+    if trace_path.is_none() && profile_path.is_none() {
+        return Err("export needs --trace and/or --profile".to_owned());
+    }
+    if let Some(trace_path) = trace_path {
+        let trace_path = PathBuf::from(trace_path);
+        let events = ipcl_trace::report::parse_jsonl(&read(&trace_path)?)?;
+        let chrome = chrome_trace(&events)?;
+        let out = chrome_path
+            .map(PathBuf::from)
+            .unwrap_or_else(|| trace_path.with_extension("chrome.json"));
+        write(&out, &chrome)?;
+        println!("wrote {} ({} events)", out.display(), events.len());
+    }
+    if let Some(profile_path) = profile_path {
+        let profile_path = PathBuf::from(profile_path);
+        let doc = ProfileDoc::parse(&read(&profile_path)?)?;
+        let folded = folded_stacks_from_profile(&doc);
+        let out = folded_path
+            .map(PathBuf::from)
+            .unwrap_or_else(|| profile_path.with_extension("folded"));
+        write(&out, &folded)?;
+        println!(
+            "wrote {} ({} stacks)",
+            out.display(),
+            folded.lines().count()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_diff(mut args: Vec<String>) -> Result<bool, String> {
+    let threshold = take_option(&mut args, "--threshold")?
+        .map(|v| v.parse::<f64>().map_err(|e| format!("--threshold: {e}")))
+        .transpose()?
+        .unwrap_or(0.10);
+    let min_us = take_option(&mut args, "--min-us")?
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--min-us: {e}")))
+        .transpose()?
+        .unwrap_or(1000);
+    let as_json = take_flag(&mut args, "--json");
+    let gate = take_flag(&mut args, "--gate");
+    let [before_path, after_path]: [String; 2] = args
+        .try_into()
+        .map_err(|_| "diff needs exactly two profile.json paths".to_owned())?;
+    let before = ProfileDoc::parse(&read(Path::new(&before_path))?)?;
+    let after = ProfileDoc::parse(&read(Path::new(&after_path))?)?;
+    let diff = ProfileDiff::compute(&before, &after);
+    if as_json {
+        print!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render(8));
+    }
+    let regressed = diff.regressions(threshold, min_us);
+    if gate && !regressed.is_empty() {
+        eprintln!(
+            "diff gate: {} span path(s) regressed more than {:.0}% (and {min_us}us)",
+            regressed.len(),
+            threshold * 100.0
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// `BENCH_*.json` files under `path` (or just `path` itself for a file),
+/// parsed, sorted by file name.
+fn load_bench_files(path: &Path) -> Result<Vec<(PathBuf, BenchFile)>, String> {
+    let mut paths = Vec::new();
+    if path.is_dir() {
+        let entries = fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        for entry in entries {
+            let entry_path = entry.map_err(|e| e.to_string())?.path();
+            let name = entry_path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("");
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                paths.push(entry_path);
+            }
+        }
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("{}: no BENCH_*.json files", path.display()));
+        }
+    } else {
+        paths.push(path.to_path_buf());
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let parsed =
+                BenchFile::parse(&read(&p)?).map_err(|e| format!("{}: {e}", p.display()))?;
+            Ok((p, parsed))
+        })
+        .collect()
+}
+
+fn cmd_regress(mut args: Vec<String>) -> Result<bool, String> {
+    let baseline_path = take_option(&mut args, "--baseline")?.ok_or("regress needs --baseline")?;
+    let current_path = take_option(&mut args, "--current")?.ok_or("regress needs --current")?;
+    let tolerances = match take_option(&mut args, "--tolerances")? {
+        Some(path) => Tolerances::parse(&read(Path::new(&path))?)?,
+        None => Tolerances::default(),
+    };
+    let as_json = take_flag(&mut args, "--json");
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+    let baselines = load_bench_files(Path::new(&baseline_path))?;
+    let currents = load_bench_files(Path::new(&current_path))?;
+    let mut all_passed = true;
+    for (base_file, baseline) in &baselines {
+        let matching: Vec<_> = currents
+            .iter()
+            .filter(|(_, c)| c.experiment == baseline.experiment)
+            .collect();
+        if matching.is_empty() {
+            eprintln!(
+                "regress {}: FAIL (no current BENCH file for baseline {})",
+                baseline.experiment,
+                base_file.display()
+            );
+            all_passed = false;
+            continue;
+        }
+        for (_, current) in matching {
+            let report = check(baseline, current, &tolerances);
+            if as_json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+            all_passed &= report.passed();
+        }
+    }
+    Ok(all_passed)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let command = args.remove(0);
+    let outcome = match command.as_str() {
+        "export" => cmd_export(args).map(|()| true),
+        "diff" => cmd_diff(args),
+        "regress" => cmd_regress(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("ipcl-tracetool: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

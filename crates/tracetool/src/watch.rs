@@ -1,0 +1,226 @@
+//! Live proof progress: render the engines' `heartbeat` events as an
+//! in-flight status line.
+//!
+//! The engines (`ipcl-sat`, `ipcl-bmc`, `ipcl-pdr`, the portfolio racer)
+//! emit rate-limited `heartbeat` events through their [`Tracer`] while
+//! solving. [`Watcher::spawn`] polls the tracer's event log from a
+//! background thread and redraws one status line on stderr — stdout
+//! stays clean for the experiment's JSON. With tracing (or event
+//! recording) disabled the engines emit nothing, the poll sees nothing,
+//! and the watcher prints nothing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ipcl_trace::{Event, Tracer, Value};
+
+fn field_text(event: &Event, name: &str) -> Option<String> {
+    event.field(name).map(|value| match value {
+        Value::U64(v) => v.to_string(),
+        Value::I64(v) => v.to_string(),
+        Value::F64(v) => format!("{v:.2}"),
+        Value::Bool(v) => v.to_string(),
+        Value::Str(v) => v.to_string(),
+    })
+}
+
+/// Renders the freshest heartbeat per engine as one status line, e.g.
+///
+/// ```text
+/// [12.3s] bmc depth=7/40 | pdr frame=4 queue=3 | sat conflicts=+812 restarts=+3
+/// ```
+///
+/// Returns `None` when `events` holds no heartbeats yet.
+pub fn progress_line(events: &[Event]) -> Option<String> {
+    // Freshest heartbeat per engine, in first-seen engine order.
+    let mut latest: BTreeMap<String, &Event> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for event in events.iter().filter(|e| e.kind == "heartbeat") {
+        let engine = field_text(event, "engine").unwrap_or_else(|| "?".to_owned());
+        if !latest.contains_key(&engine) {
+            order.push(engine.clone());
+        }
+        latest.insert(engine, event);
+    }
+    let newest = latest.values().map(|e| e.t_us).max()?;
+    let mut out = format!("[{:.1}s]", newest as f64 / 1e6);
+    for engine in &order {
+        let event = latest[engine];
+        let _ = write!(out, " {engine}");
+        match engine.as_str() {
+            "bmc" => {
+                if let (Some(depth), Some(max)) =
+                    (field_text(event, "depth"), field_text(event, "max_depth"))
+                {
+                    let _ = write!(out, " depth={depth}/{max}");
+                }
+            }
+            "pdr" => {
+                for key in ["frame", "queue", "clauses"] {
+                    if let Some(v) = field_text(event, key) {
+                        let _ = write!(out, " {key}={v}");
+                    }
+                }
+            }
+            "sat" => {
+                for key in ["conflicts", "restarts"] {
+                    if let Some(v) = field_text(event, key) {
+                        let _ = write!(out, " {key}=+{v}");
+                    }
+                }
+            }
+            _ => {
+                if let Some(v) = field_text(event, "property") {
+                    let _ = write!(out, " {v}");
+                }
+            }
+        }
+        out.push_str(" |");
+    }
+    out.pop();
+    out.pop();
+    Some(out)
+}
+
+/// A background thread redrawing the progress line while a traced run is
+/// in flight. Created by experiment binaries under `--watch`.
+pub struct Watcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Watcher {
+    /// Spawns the poller. `tracer` is the (cheaply cloned) handle the
+    /// engines write through; `interval` is the redraw period.
+    pub fn spawn(tracer: Tracer, interval: Duration) -> Watcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = thread::spawn(move || {
+            let mut seq_floor = 0u64;
+            let mut events: Vec<Event> = Vec::new();
+            let mut last_line = String::new();
+            let mut drew = false;
+            while !stop_flag.load(Ordering::Relaxed) {
+                thread::sleep(interval);
+                let fresh = tracer.events_since(seq_floor);
+                if let Some(last) = fresh.last() {
+                    seq_floor = last.seq + 1;
+                }
+                events.extend(fresh);
+                if let Some(line) = progress_line(&events) {
+                    if line != last_line {
+                        // \r + clear-to-end keeps the redraw on one line.
+                        eprint!("\r\x1b[K{line}");
+                        let _ = std::io::stderr().flush();
+                        last_line = line;
+                        drew = true;
+                    }
+                }
+            }
+            if drew {
+                eprintln!();
+            }
+        });
+        Watcher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the poller and waits for its final redraw.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_trace::{TraceConfig, Tracer};
+
+    #[test]
+    fn progress_line_summarizes_the_freshest_heartbeat_per_engine() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("bmc")),
+                ("depth", Value::U64(3)),
+                ("max_depth", Value::U64(40)),
+            ],
+        );
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("bmc")),
+                ("depth", Value::U64(7)),
+                ("max_depth", Value::U64(40)),
+            ],
+        );
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("sat")),
+                ("conflicts", Value::U64(812)),
+                ("restarts", Value::U64(3)),
+            ],
+        );
+        tracer.event("solver_restart", &[("conflicts", Value::U64(9))]);
+        let snapshot = tracer.snapshot().unwrap();
+        let line = progress_line(&snapshot.events).expect("heartbeats present");
+        assert!(
+            line.contains("bmc depth=7/40"),
+            "freshest beat wins: {line}"
+        );
+        assert!(!line.contains("depth=3"), "stale beat dropped: {line}");
+        assert!(line.contains("sat conflicts=+812 restarts=+3"), "{line}");
+    }
+
+    #[test]
+    fn progress_line_is_none_without_heartbeats() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        tracer.event("solver_restart", &[]);
+        let snapshot = tracer.snapshot().unwrap();
+        assert_eq!(progress_line(&snapshot.events), None);
+        assert_eq!(progress_line(&[]), None);
+    }
+
+    #[test]
+    fn watcher_drains_the_log_and_stops_cleanly() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        let watcher = Watcher::spawn(tracer.clone(), Duration::from_millis(1));
+        tracer.event(
+            "heartbeat",
+            &[("engine", Value::from("pdr")), ("frame", Value::U64(2))],
+        );
+        thread::sleep(Duration::from_millis(10));
+        watcher.stop();
+    }
+
+    #[test]
+    fn watcher_on_a_disabled_tracer_sees_nothing() {
+        let tracer = Tracer::disabled();
+        let watcher = Watcher::spawn(tracer.clone(), Duration::from_millis(1));
+        thread::sleep(Duration::from_millis(5));
+        assert!(tracer.events_since(0).is_empty());
+        watcher.stop();
+    }
+}

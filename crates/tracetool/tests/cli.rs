@@ -1,0 +1,183 @@
+//! End-to-end tests of the `ipcl-tracetool` binary: artifact files in,
+//! exit codes out.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use ipcl_trace::{report, TraceConfig, Tracer, Value};
+
+fn tracetool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ipcl-tracetool"))
+        .args(args)
+        .output()
+        .expect("the binary runs")
+}
+
+/// A scratch directory unique to this test run.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipcl-tracetool-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A small real traced run: nested spans, an event, metrics.
+fn sample_tracer(extra_span_iters: usize) -> Tracer {
+    let tracer = Tracer::new(TraceConfig::enabled());
+    {
+        let _check = tracer.span("check");
+        tracer.event("solver_restart", &[("conflicts", Value::U64(3))]);
+        for _ in 0..=extra_span_iters {
+            let _solve = tracer.span("solve");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    tracer
+}
+
+#[test]
+fn export_writes_chrome_and_folded_artifacts() {
+    let dir = scratch("export");
+    let snapshot = sample_tracer(0).snapshot().unwrap();
+    let (trace_path, profile_path) =
+        report::write_artifacts(&snapshot, &dir).expect("artifacts written");
+
+    let output = tracetool(&[
+        "export",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--profile",
+        profile_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{output:?}");
+
+    let chrome = fs::read_to_string(trace_path.with_extension("chrome.json")).unwrap();
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"ph\": \"B\""));
+    assert!(chrome.contains("solver_restart"));
+    let folded = fs::read_to_string(profile_path.with_extension("folded")).unwrap();
+    assert!(
+        folded.lines().any(|l| l.starts_with("check;solve ")),
+        "{folded}"
+    );
+}
+
+#[test]
+fn diff_gate_exits_nonzero_only_on_regression() {
+    let dir = scratch("diff");
+    let before = dir.join("before.json");
+    let after = dir.join("after.json");
+    fs::write(
+        &before,
+        report::profile_json(&sample_tracer(0).snapshot().unwrap()),
+    )
+    .unwrap();
+    fs::write(
+        &after,
+        report::profile_json(&sample_tracer(30).snapshot().unwrap()),
+    )
+    .unwrap();
+
+    // Identical inputs: clean gate, and the rendering reports full
+    // attribution of a zero delta.
+    let same = tracetool(&[
+        "diff",
+        "--gate",
+        before.to_str().unwrap(),
+        before.to_str().unwrap(),
+    ]);
+    assert!(same.status.success(), "{same:?}");
+
+    // A real regression (the solve span grew ~30x): gate trips.
+    let worse = tracetool(&[
+        "diff",
+        "--gate",
+        "--threshold",
+        "0.5",
+        "--min-us",
+        "1000",
+        before.to_str().unwrap(),
+        after.to_str().unwrap(),
+    ]);
+    assert_eq!(worse.status.code(), Some(1), "{worse:?}");
+    let stdout = String::from_utf8(worse.stdout).unwrap();
+    assert!(stdout.contains("check / solve"), "{stdout}");
+
+    // The JSON output parses.
+    let json = tracetool(&[
+        "diff",
+        "--json",
+        before.to_str().unwrap(),
+        after.to_str().unwrap(),
+    ]);
+    assert!(json.status.success());
+    let text = String::from_utf8(json.stdout).unwrap();
+    assert!(text.trim_start().starts_with('{'), "{text}");
+}
+
+#[test]
+fn regress_gate_fails_on_regressed_history_and_passes_on_baseline() {
+    let baseline_dir = scratch("regress-baseline");
+    let current_dir = scratch("regress-current");
+    let baseline = r#"{
+      "schema_version": 1, "experiment": "solver_opts", "smoke": true, "commit": null,
+      "entries": [
+        {"workload": "pigeonhole-7", "config": "optimized", "ms": 10.0, "conflicts": 500},
+        {"workload": "pigeonhole-7", "config": "baseline", "ms": 40.0, "conflicts": 2000}
+      ]
+    }"#;
+    fs::write(baseline_dir.join("BENCH_solver_opts.json"), baseline).unwrap();
+
+    // Identical current run: clean exit.
+    fs::write(current_dir.join("BENCH_solver_opts.json"), baseline).unwrap();
+    let clean = tracetool(&[
+        "regress",
+        "--baseline",
+        baseline_dir.to_str().unwrap(),
+        "--current",
+        current_dir.to_str().unwrap(),
+    ]);
+    assert!(clean.status.success(), "{clean:?}");
+    let stdout = String::from_utf8(clean.stdout).unwrap();
+    assert!(stdout.contains("PASS"), "{stdout}");
+
+    // Synthetically regressed history: the optimized config slowed 3x.
+    let regressed = baseline.replace("\"ms\": 10.0", "\"ms\": 30.0");
+    fs::write(current_dir.join("BENCH_solver_opts.json"), regressed).unwrap();
+    let failing = tracetool(&[
+        "regress",
+        "--baseline",
+        baseline_dir.to_str().unwrap(),
+        "--current",
+        current_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(failing.status.code(), Some(1), "{failing:?}");
+    let stdout = String::from_utf8(failing.stdout).unwrap();
+    assert!(stdout.contains("REGRESSED ms"), "{stdout}");
+    assert!(stdout.contains("config=optimized"), "{stdout}");
+
+    // A generous tolerance file waves the same history through.
+    let tolerances = baseline_dir.join("tolerances.json");
+    fs::write(&tolerances, r#"{"default_rel": 5.0}"#).unwrap();
+    let waved = tracetool(&[
+        "regress",
+        "--baseline",
+        baseline_dir.to_str().unwrap(),
+        "--current",
+        current_dir.to_str().unwrap(),
+        "--tolerances",
+        tolerances.to_str().unwrap(),
+    ]);
+    assert!(waved.status.success(), "{waved:?}");
+
+    // Unknown files / malformed input: usage error, not a gate verdict.
+    let missing = tracetool(&[
+        "regress",
+        "--baseline",
+        "/nonexistent",
+        "--current",
+        "/nonexistent",
+    ]);
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+}

@@ -19,6 +19,8 @@
 //! | [`checker`] | `ipcl-checker` | BDD/SAT property checking and reset checks |
 //! | [`bmc`] | `ipcl-bmc` | bounded model checking and k-induction over netlists |
 //! | [`pdr`] | `ipcl-pdr` | IC3/PDR with certified invariants and the BMC/PDR portfolio |
+//! | [`trace`] | `ipcl-trace` | structured tracing, metrics, and profiling of the solve stack |
+//! | [`tracetool`] | `ipcl-tracetool` | trace export (Perfetto/flamegraph), profile diffing, perf-regression gate |
 //!
 //! # Quick start
 //!
@@ -53,3 +55,4 @@ pub use ipcl_rtl as rtl;
 pub use ipcl_sat as sat;
 pub use ipcl_synth as synth;
 pub use ipcl_trace as trace;
+pub use ipcl_tracetool as tracetool;
