@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use ipcl_bench::{emit_bench_json, TraceArgs};
+use ipcl_bench::{emit_bench_json, median_ms, TraceArgs};
 use ipcl_bmc::{
     check_property_traced, BmcOptions, BmcOutcome, Latency, PropertyKind, SequentialProperty,
 };
@@ -87,11 +87,6 @@ fn deep_chain(depth: usize) -> Workload {
         k_bound: depth.saturating_sub(3),
         k_inductive: false,
     }
-}
-
-fn median_ms(mut times: Vec<f64>) -> f64 {
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    times[times.len() / 2]
 }
 
 fn main() {

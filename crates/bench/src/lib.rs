@@ -26,6 +26,10 @@ use ipcl_tracetool::Watcher;
 ///   from the engines' `heartbeat` events while the run is in flight
 ///   ([`ipcl_tracetool::Watcher`]).
 ///
+/// The binaries that exercise the parallel proof engine additionally take
+/// `--threads N` (worker count; defaults to the host's available
+/// parallelism), exposed as [`TraceArgs::threads`].
+///
 /// Without any of the flags the returned tracer is the disabled
 /// (zero-cost) one, so instrumented experiments measure the same code path
 /// as before.
@@ -36,18 +40,26 @@ pub struct TraceArgs {
     pub profile: bool,
     /// Whether `--watch` was given.
     pub watch: bool,
+    /// `--threads N`, defaulting to `std::thread::available_parallelism()`.
+    /// Feed it into [`ipcl_pdr::ParallelPdrOptions::threads`] (or
+    /// `SequentialOptions::threads`); experiments without a parallel engine
+    /// ignore it.
+    pub threads: usize,
     tracer: Tracer,
     watcher: Option<Watcher>,
 }
 
 impl TraceArgs {
-    /// Parses `--trace <dir>` / `--profile` / `--watch` from the process
-    /// arguments.
+    /// Parses `--trace <dir>` / `--profile` / `--watch` / `--threads <N>`
+    /// from the process arguments.
     pub fn from_env() -> TraceArgs {
         let args: Vec<String> = std::env::args().collect();
         let mut dir = None;
         let mut profile = false;
         let mut watch = false;
+        let mut threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -59,6 +71,14 @@ impl TraceArgs {
                 }
                 "--profile" => profile = true,
                 "--watch" => watch = true,
+                "--threads" => {
+                    threads = args
+                        .get(i + 1)
+                        .and_then(|n| n.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| panic!("--threads requires a count ≥ 1"));
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -73,6 +93,7 @@ impl TraceArgs {
             dir,
             profile,
             watch,
+            threads,
             tracer,
             watcher,
         }
@@ -158,6 +179,16 @@ pub fn pigeonhole_cnf(pigeons: u32) -> Cnf {
         }
     }
     cnf
+}
+
+/// Median of a set of repeat timings, in whatever unit they were taken.
+///
+/// # Panics
+///
+/// On an empty or NaN-containing input.
+pub fn median_ms(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
 }
 
 /// Prints a markdown-style table row.

@@ -110,6 +110,12 @@ pub struct PdrStats {
     /// pops whose consecution query ran against `F_{k-1}`. Skewed
     /// distributions indicate one frame dominating the search.
     pub obligations_per_frame: Vec<u64>,
+    /// Solver-learned clauses imported from sibling workers (parallel
+    /// engine only; the sequential engine leaves this 0).
+    pub imported_clauses: u64,
+    /// Solver-learned clauses exported to sibling workers (parallel
+    /// engine only).
+    pub exported_clauses: u64,
 }
 
 impl PdrStats {
@@ -129,6 +135,10 @@ impl PdrStats {
             &format!("{prefix}.max_queue_depth"),
             self.max_queue_depth as f64,
         );
+        if self.imported_clauses > 0 || self.exported_clauses > 0 {
+            sink.counter(&format!("{prefix}.imported_clauses"), self.imported_clauses);
+            sink.counter(&format!("{prefix}.exported_clauses"), self.exported_clauses);
+        }
     }
 }
 
@@ -200,7 +210,20 @@ pub struct PdrResult {
 /// A cube over the register state: `(register index, value)` pairs sorted
 /// by index. Trace cubes are total (one entry per register); blocked cubes
 /// shrink under generalisation.
-type Cube = Vec<(usize, bool)>;
+pub(crate) type Cube = Vec<(usize, bool)>;
+
+/// One committed frame lemma: the clause `¬cube` joined frame `k` of the
+/// trailing sequence. `promoted_from` is set when the lemma moved up from a
+/// lower frame during propagation (delta encoding: the cube leaves the
+/// lower frame's bookkeeping). Replaying a lemma log in order reproduces
+/// the frame state exactly — the sharing unit of the parallel engine's
+/// [`crate::parallel`] commit log.
+#[derive(Clone, Debug)]
+pub(crate) struct FrameLemma {
+    pub(crate) frame: usize,
+    pub(crate) cube: Cube,
+    pub(crate) promoted_from: Option<usize>,
+}
 
 /// One entry of the proof-obligation arena. The parent chain reconstructs
 /// counterexample traces: `step_inputs` is the input valuation driving this
@@ -217,15 +240,20 @@ enum BlockOutcome {
     Cancelled,
 }
 
-struct Pdr<'a> {
-    spec: &'a FunctionalSpec,
-    property: &'a SequentialProperty,
-    options: PdrOptions,
-    enc: FrameEncoder,
-    solver: Solver,
+/// The encoder + incremental solver + trailing frame sequence of one PDR
+/// search: everything needed to answer frame queries (consecution,
+/// generalisation, propagation, certificates). Extracted from the engine
+/// loop so the parallel scheduler ([`crate::parallel`]) can give every
+/// worker its own `FrameCtx` — construction is fully deterministic, so all
+/// workers allocate identical base encodings (and [`FrameCtx::base_bound`]
+/// means the same variable range in each), while frame activation literals
+/// beyond the base stay worker-local.
+pub(crate) struct FrameCtx {
+    pub(crate) enc: FrameEncoder,
+    pub(crate) solver: Solver,
     sync: SolverSync,
     /// The registers (state variables), in [`Netlist::registers`] order.
-    regs: Vec<SignalId>,
+    pub(crate) regs: Vec<SignalId>,
     /// Reset value per register.
     reg_init: Vec<bool>,
     /// Frame-0 literal per register (the pre-state `s`).
@@ -233,7 +261,7 @@ struct Pdr<'a> {
     /// Frame-1 literal per register (the post-state `s'`).
     reg1: Vec<Lit>,
     /// Assumption literal of the negated property window.
-    bad: Lit,
+    pub(crate) bad: Lit,
     /// Activation literal of the reset-state constraints (`F_0`).
     act_init: Lit,
     /// `act[k]` activates the clauses stored at frame `k` (`act[0]` is a
@@ -241,22 +269,32 @@ struct Pdr<'a> {
     act: Vec<Lit>,
     /// Delta-encoded frame clauses: `frame_cubes[k]` holds the cubes whose
     /// negations are stored at frame `k`.
-    frame_cubes: Vec<Vec<Cube>>,
-    stats: PdrStats,
+    pub(crate) frame_cubes: Vec<Vec<Cube>>,
+    /// First CNF variable *beyond* the deterministic base encoding
+    /// (transition relation, property window, reset constraints). Every
+    /// sibling `FrameCtx` on the same problem allocates the identical base,
+    /// so a solver-learned clause whose variables all lie below this bound
+    /// is implied by the base encoding alone and sound to import into any
+    /// sibling. Clauses touching frame activation or throw-away literals
+    /// (allocated after the base, in worker-local order) fail the bound.
+    pub(crate) base_bound: u32,
+    /// SAT queries issued through this context.
+    pub(crate) solve_calls: u64,
+    /// Frame clauses committed (before propagation dedup).
+    pub(crate) clauses: usize,
+    /// Literals dropped by cube generalisation.
+    pub(crate) generalization_drops: u64,
     tracer: Tracer,
-    /// Live-progress beats (rate-limited), checked per obligation pop and
-    /// per frame open — a deep proof reports its frontier while running.
-    heartbeat: Heartbeat,
 }
 
-impl<'a> Pdr<'a> {
-    fn new(
-        spec: &'a FunctionalSpec,
+impl FrameCtx {
+    pub(crate) fn new(
+        spec: &FunctionalSpec,
         netlist: &Netlist,
-        property: &'a SequentialProperty,
-        options: PdrOptions,
+        property: &SequentialProperty,
+        solver_config: SolverConfig,
         tracer: &Tracer,
-    ) -> Result<Self, BmcError> {
+    ) -> Result<FrameCtx, BmcError> {
         let _encode = tracer.span("pdr.encode");
         let mut enc = FrameEncoder::new(netlist, InitialState::Free, 0)?;
         // Two frames: the transition `s → s'` and (for registered latency)
@@ -285,15 +323,12 @@ impl<'a> Pdr<'a> {
             let lit = if reg_init[index] { lit } else { lit.negated() };
             enc.unroller_mut().add_clause([act_init.negated(), lit]);
         }
+        let base_bound = enc.unroller().cnf().num_vars;
 
         let placeholder = act_init; // never assumed via `act[0]`
-        let mut solver =
-            Solver::with_config(enc.unroller().cnf().num_vars as usize, options.solver);
+        let mut solver = Solver::with_config(enc.unroller().cnf().num_vars as usize, solver_config);
         solver.set_tracer(tracer.clone());
-        Ok(Pdr {
-            spec,
-            property,
-            options,
+        Ok(FrameCtx {
             enc,
             solver,
             sync: SolverSync::default(),
@@ -305,32 +340,34 @@ impl<'a> Pdr<'a> {
             act_init,
             act: vec![placeholder],
             frame_cubes: vec![Vec::new()],
-            stats: PdrStats::default(),
+            base_bound,
+            solve_calls: 0,
+            clauses: 0,
+            generalization_drops: 0,
             tracer: tracer.clone(),
-            heartbeat: Heartbeat::every_ms(ipcl_sat::HEARTBEAT_MS),
         })
     }
 
     /// Number of the top frame.
-    fn top(&self) -> usize {
+    pub(crate) fn top(&self) -> usize {
         self.act.len() - 1
     }
 
     /// Opens frame `K+1` (initially unconstrained).
-    fn push_frame(&mut self) {
+    pub(crate) fn push_frame(&mut self) {
         let act = self.enc.unroller_mut().fresh_lit();
         self.act.push(act);
         self.frame_cubes.push(Vec::new());
     }
 
-    fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+    pub(crate) fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
         self.sync.sync(&self.enc, &mut self.solver);
-        self.stats.solve_calls += 1;
+        self.solve_calls += 1;
         self.solver.solve_under_assumptions(assumptions)
     }
 
     /// Assumptions activating the clauses of `F_k`.
-    fn frame_assumptions(&self, k: usize) -> Vec<Lit> {
+    pub(crate) fn frame_assumptions(&self, k: usize) -> Vec<Lit> {
         if k == 0 {
             vec![self.act_init]
         } else {
@@ -339,7 +376,7 @@ impl<'a> Pdr<'a> {
     }
 
     /// The literal of `cube[i]` at frame 0 (`prime = false`) or 1.
-    fn cube_lit(&self, entry: (usize, bool), prime: bool) -> Lit {
+    pub(crate) fn cube_lit(&self, entry: (usize, bool), prime: bool) -> Lit {
         let (index, value) = entry;
         let lit = if prime {
             self.reg1[index]
@@ -354,7 +391,7 @@ impl<'a> Pdr<'a> {
     }
 
     /// The total register cube of a model's frame 0.
-    fn state_cube(&self, model: &[bool]) -> Cube {
+    pub(crate) fn state_cube(&self, model: &[bool]) -> Cube {
         self.reg0
             .iter()
             .enumerate()
@@ -366,13 +403,13 @@ impl<'a> Pdr<'a> {
     /// single total assignment, so this is a syntactic check: the cube
     /// intersects `Init` iff none of its literals disagrees with a reset
     /// value.
-    fn intersects_init(&self, cube: &Cube) -> bool {
+    pub(crate) fn intersects_init(&self, cube: &Cube) -> bool {
         cube.iter()
             .all(|&(index, value)| value == self.reg_init[index])
     }
 
     /// Stores the clause `¬cube` at frame `k` and encodes it under `act[k]`.
-    fn add_frame_clause(&mut self, cube: Cube, k: usize) {
+    pub(crate) fn add_frame_clause(&mut self, cube: Cube, k: usize) {
         let mut clause = vec![self.act[k].negated()];
         clause.extend(
             cube.iter()
@@ -380,7 +417,23 @@ impl<'a> Pdr<'a> {
         );
         self.enc.unroller_mut().add_clause(clause);
         self.frame_cubes[k].push(cube);
-        self.stats.clauses += 1;
+        self.clauses += 1;
+    }
+
+    /// Replays one committed lemma from a sibling's log: promotions drop
+    /// the cube from its previous frame first, then the clause is encoded
+    /// at the (new) frame exactly as a local commit would be. Replaying a
+    /// log in commit order reproduces `frame_cubes` bit-identically.
+    pub(crate) fn apply_lemma(&mut self, lemma: &FrameLemma) {
+        while self.top() < lemma.frame {
+            self.push_frame();
+        }
+        if let Some(from) = lemma.promoted_from {
+            if let Some(pos) = self.frame_cubes[from].iter().position(|c| *c == lemma.cube) {
+                self.frame_cubes[from].remove(pos);
+            }
+        }
+        self.add_frame_clause(lemma.cube.clone(), lemma.frame);
     }
 
     /// The relative-induction query `F_{k-1} ∧ ¬cube ∧ T ∧ cube'`.
@@ -389,7 +442,7 @@ impl<'a> Pdr<'a> {
     /// one step — together with initiation, the cube is unreachable within
     /// `k` steps and `¬cube` may join `F_k`. SAT yields a predecessor
     /// state (a new proof obligation) in the model's frame 0.
-    fn consecution(&mut self, cube: &Cube, k: usize) -> SatResult {
+    pub(crate) fn consecution(&mut self, cube: &Cube, k: usize) -> SatResult {
         // ¬cube over frame 0 is a disjunction: encode it once under a
         // throw-away activation literal, assume it for this query, then
         // permanently disable it.
@@ -414,7 +467,12 @@ impl<'a> Pdr<'a> {
     /// state) and consecution (the relative-induction query stays UNSAT)
     /// is dropped, giving a clause that blocks exponentially many states
     /// instead of one.
-    fn generalize(&mut self, cube: Cube, k: usize) -> Cube {
+    ///
+    /// The result depends only on SAT/UNSAT verdict *bits*, never on
+    /// models, so it is identical no matter which sibling context computes
+    /// it from the same committed frame state — the property the parallel
+    /// engine's determinism rests on.
+    pub(crate) fn generalize(&mut self, cube: Cube, k: usize) -> Cube {
         let _span = self.tracer.span_fast("pdr.generalize");
         let mut current = cube.clone();
         for &entry in &cube {
@@ -429,7 +487,7 @@ impl<'a> Pdr<'a> {
                 continue; // initiation would break
             }
             if self.consecution(&candidate, k) == SatResult::Unsat {
-                self.stats.generalization_drops += 1;
+                self.generalization_drops += 1;
                 current = candidate;
             }
         }
@@ -439,11 +497,88 @@ impl<'a> Pdr<'a> {
     /// Whether `cube` is subsumed by a clause already stored at frame ≥ `k`
     /// (i.e. already excluded from `F_k`). Cubes are sorted by register
     /// index, so subsumption is a linear merge.
-    fn is_blocked(&self, cube: &Cube, k: usize) -> bool {
+    pub(crate) fn is_blocked(&self, cube: &Cube, k: usize) -> bool {
         self.frame_cubes[k..]
             .iter()
             .flatten()
             .any(|blocked| subsumes(blocked, cube))
+    }
+
+    /// The invariant at a fixpoint frame `k`: every clause stored at frames
+    /// above `k` (delta encoding: that conjunction *is* `F_{k+1} = F_k`).
+    /// The same cube can be blocked at several frames above the fixpoint,
+    /// so the clause list is deduplicated for the certificate.
+    pub(crate) fn certificate(&self, property_name: &str, fixpoint: usize) -> Certificate {
+        let mut cubes: Vec<&Cube> = self.frame_cubes[fixpoint + 1..].iter().flatten().collect();
+        cubes.sort();
+        cubes.dedup();
+        let clauses = cubes
+            .into_iter()
+            .map(|cube| {
+                cube.iter()
+                    .map(|&(index, value)| StateLiteral {
+                        register: self
+                            .enc
+                            .unroller()
+                            .netlist()
+                            .signal(self.regs[index])
+                            .name
+                            .clone(),
+                        positive: !value,
+                    })
+                    .collect()
+            })
+            .collect();
+        Certificate {
+            property: property_name.to_owned(),
+            clauses,
+        }
+    }
+
+    /// Decodes the property window (frames `0..=offset`) of a bad-state
+    /// model.
+    pub(crate) fn window(
+        &self,
+        spec: &FunctionalSpec,
+        property: &SequentialProperty,
+        model: &[bool],
+    ) -> Vec<BTreeMap<String, bool>> {
+        (0..=property.latency.offset())
+            .map(|frame| self.enc.decode_frame(spec, model, frame))
+            .collect()
+    }
+}
+
+struct Pdr<'a> {
+    spec: &'a FunctionalSpec,
+    property: &'a SequentialProperty,
+    options: PdrOptions,
+    ctx: FrameCtx,
+    stats: PdrStats,
+    tracer: Tracer,
+    /// Live-progress beats (rate-limited), checked per obligation pop and
+    /// per frame open — a deep proof reports its frontier while running.
+    heartbeat: Heartbeat,
+}
+
+impl<'a> Pdr<'a> {
+    fn new(
+        spec: &'a FunctionalSpec,
+        netlist: &Netlist,
+        property: &'a SequentialProperty,
+        options: PdrOptions,
+        tracer: &Tracer,
+    ) -> Result<Self, BmcError> {
+        let ctx = FrameCtx::new(spec, netlist, property, options.solver, tracer)?;
+        Ok(Pdr {
+            spec,
+            property,
+            options,
+            ctx,
+            stats: PdrStats::default(),
+            tracer: tracer.clone(),
+            heartbeat: Heartbeat::every_ms(ipcl_sat::HEARTBEAT_MS),
+        })
     }
 
     /// Blocks the bad cube at the top frame, recursively discharging the
@@ -455,7 +590,7 @@ impl<'a> Pdr<'a> {
         window: Vec<BTreeMap<String, bool>>,
         cancel: Option<&AtomicBool>,
     ) -> BlockOutcome {
-        let top = self.top();
+        let top = self.ctx.top();
         let mut arena: Vec<Obligation> = vec![Obligation {
             cube: root,
             parent: None,
@@ -478,7 +613,7 @@ impl<'a> Pdr<'a> {
                 return BlockOutcome::Counterexample(self.trace(&arena, index, None, &window));
             }
             let cube = arena[index].cube.clone();
-            if self.is_blocked(&cube, k) {
+            if self.ctx.is_blocked(&cube, k) {
                 // Already excluded from F_k by a stronger clause; keep
                 // pushing the obligation towards the top frame.
                 if k < top {
@@ -487,23 +622,23 @@ impl<'a> Pdr<'a> {
                 }
                 continue;
             }
-            match self.consecution(&cube, k) {
+            match self.ctx.consecution(&cube, k) {
                 SatResult::Unsat => {
                     let generalized = if self.options.generalize {
-                        self.generalize(cube, k)
+                        self.ctx.generalize(cube, k)
                     } else {
                         cube
                     };
-                    self.add_frame_clause(generalized, k);
+                    self.ctx.add_frame_clause(generalized, k);
                     if k < top {
                         queue.push(Reverse((k + 1, index)));
                         self.note_push(k + 1, queue.len());
                     }
                 }
                 SatResult::Sat(model) => {
-                    let predecessor = self.state_cube(&model);
-                    let step_inputs = self.enc.decode_frame(self.spec, &model, 0);
-                    if self.intersects_init(&predecessor) {
+                    let predecessor = self.ctx.state_cube(&model);
+                    let step_inputs = self.ctx.enc.decode_frame(self.spec, &model, 0);
+                    if self.ctx.intersects_init(&predecessor) {
                         // The predecessor is the reset state: the obligation
                         // chain is a concrete trace.
                         return BlockOutcome::Counterexample(self.trace(
@@ -574,10 +709,10 @@ impl<'a> Pdr<'a> {
             &[
                 ("engine", Value::from("pdr")),
                 ("frame", Value::U64(frame as u64)),
-                ("top_frame", Value::U64(self.top() as u64)),
+                ("top_frame", Value::U64(self.ctx.top() as u64)),
                 ("queue", Value::U64(queue_len as u64)),
                 ("obligations", Value::U64(self.stats.obligations)),
-                ("clauses", Value::U64(self.stats.clauses as u64)),
+                ("clauses", Value::U64(self.ctx.clauses as u64)),
             ],
         );
     }
@@ -613,20 +748,20 @@ impl<'a> Pdr<'a> {
     /// Returns the fixpoint frame if two adjacent frames became equal.
     fn propagate(&mut self) -> Option<usize> {
         let _span = self.tracer.span("pdr.propagate");
-        let top = self.top();
+        let top = self.ctx.top();
         for k in 1..top {
-            let cubes = std::mem::take(&mut self.frame_cubes[k]);
+            let cubes = std::mem::take(&mut self.ctx.frame_cubes[k]);
             for cube in cubes {
                 // F_k ∧ T ∧ cube' unsatisfiable ⇒ ¬cube also holds at k+1.
-                let mut assumptions = self.frame_assumptions(k);
-                assumptions.extend(cube.iter().map(|&entry| self.cube_lit(entry, true)));
-                if self.solve(&assumptions) == SatResult::Unsat {
-                    self.add_frame_clause(cube, k + 1);
+                let mut assumptions = self.ctx.frame_assumptions(k);
+                assumptions.extend(cube.iter().map(|&entry| self.ctx.cube_lit(entry, true)));
+                if self.ctx.solve(&assumptions) == SatResult::Unsat {
+                    self.ctx.add_frame_clause(cube, k + 1);
                 } else {
-                    self.frame_cubes[k].push(cube);
+                    self.ctx.frame_cubes[k].push(cube);
                 }
             }
-            if self.frame_cubes[k].is_empty() {
+            if self.ctx.frame_cubes[k].is_empty() {
                 // F_k = F_{k+1}: the trailing sequence closed.
                 return Some(k);
             }
@@ -634,51 +769,12 @@ impl<'a> Pdr<'a> {
         None
     }
 
-    /// The invariant at a fixpoint frame `k`: every clause stored at frames
-    /// above `k` (delta encoding: that conjunction *is* `F_{k+1} = F_k`).
-    /// The same cube can be blocked at several frames above the fixpoint,
-    /// so the clause list is deduplicated for the certificate.
-    fn certificate(&self, fixpoint: usize) -> Certificate {
-        let mut cubes: Vec<&Cube> = self.frame_cubes[fixpoint + 1..].iter().flatten().collect();
-        cubes.sort();
-        cubes.dedup();
-        let clauses = cubes
-            .into_iter()
-            .map(|cube| {
-                cube.iter()
-                    .map(|&(index, value)| StateLiteral {
-                        register: self
-                            .enc
-                            .unroller()
-                            .netlist()
-                            .signal(self.regs[index])
-                            .name
-                            .clone(),
-                        positive: !value,
-                    })
-                    .collect()
-            })
-            .collect();
-        Certificate {
-            property: self.property.name.clone(),
-            clauses,
-        }
-    }
-
-    /// Decodes the property window (frames `0..=offset`) of a bad-state
-    /// model.
-    fn window(&self, model: &[bool]) -> Vec<BTreeMap<String, bool>> {
-        (0..=self.property.latency.offset())
-            .map(|frame| self.enc.decode_frame(self.spec, model, frame))
-            .collect()
-    }
-
     fn run(&mut self, cancel: Option<&AtomicBool>) -> PdrOutcome {
         // Stateless netlist: the single (empty) state is initial, so the
         // property is equivalent to the one-window combinational query.
-        if self.regs.is_empty() {
-            let bad = self.bad;
-            return match self.solve(&[bad]) {
+        if self.ctx.regs.is_empty() {
+            let bad = self.ctx.bad;
+            return match self.ctx.solve(&[bad]) {
                 SatResult::Unsat => PdrOutcome::Proved {
                     certificate: Certificate {
                         property: self.property.name.clone(),
@@ -687,7 +783,7 @@ impl<'a> Pdr<'a> {
                     fixpoint_frame: 0,
                 },
                 SatResult::Sat(model) => {
-                    let frames = self.window(&model);
+                    let frames = self.ctx.window(self.spec, self.property, &model);
                     PdrOutcome::Falsified(Counterexample {
                         property: self.property.name.clone(),
                         violation_frame: frames.len() - 1,
@@ -697,24 +793,24 @@ impl<'a> Pdr<'a> {
             };
         }
 
-        self.push_frame(); // F_1
+        self.ctx.push_frame(); // F_1
         loop {
             if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
                 return PdrOutcome::Unknown {
-                    frames_explored: self.top(),
+                    frames_explored: self.ctx.top(),
                 };
             }
             // Block every bad state reachable within the current bound.
             loop {
-                let top = self.top();
-                let mut assumptions = self.frame_assumptions(top);
-                assumptions.push(self.bad);
-                match self.solve(&assumptions) {
+                let top = self.ctx.top();
+                let mut assumptions = self.ctx.frame_assumptions(top);
+                assumptions.push(self.ctx.bad);
+                match self.ctx.solve(&assumptions) {
                     SatResult::Unsat => break,
                     SatResult::Sat(model) => {
-                        let cube = self.state_cube(&model);
-                        let window = self.window(&model);
-                        if self.intersects_init(&cube) {
+                        let cube = self.ctx.state_cube(&model);
+                        let window = self.ctx.window(self.spec, self.property, &model);
+                        if self.ctx.intersects_init(&cube) {
                             // The reset state itself violates the property.
                             return PdrOutcome::Falsified(Counterexample {
                                 property: self.property.name.clone(),
@@ -727,23 +823,24 @@ impl<'a> Pdr<'a> {
                             BlockOutcome::Counterexample(cex) => return PdrOutcome::Falsified(cex),
                             BlockOutcome::Cancelled => {
                                 return PdrOutcome::Unknown {
-                                    frames_explored: self.top(),
+                                    frames_explored: self.ctx.top(),
                                 }
                             }
                         }
                     }
                 }
             }
-            if self.top() >= self.options.max_frames {
+            if self.ctx.top() >= self.options.max_frames {
                 return PdrOutcome::Unknown {
-                    frames_explored: self.top(),
+                    frames_explored: self.ctx.top(),
                 };
             }
-            self.push_frame();
-            self.emit_heartbeat(self.top(), 0);
+            self.ctx.push_frame();
+            let top = self.ctx.top();
+            self.emit_heartbeat(top, 0);
             if let Some(fixpoint) = self.propagate() {
                 return PdrOutcome::Proved {
-                    certificate: self.certificate(fixpoint),
+                    certificate: self.ctx.certificate(&self.property.name, fixpoint),
                     fixpoint_frame: fixpoint,
                 };
             }
@@ -826,13 +923,16 @@ pub fn check_property_pdr_traced(
     let mut pdr = Pdr::new(spec, netlist, property, *options, tracer)?;
     let outcome = pdr.run(cancel);
     let mut stats = pdr.stats.clone();
-    stats.frames = pdr.top();
-    stats.conflicts = pdr.solver.stats().conflicts;
-    stats.propagations = pdr.solver.stats().propagations;
+    stats.frames = pdr.ctx.top();
+    stats.clauses = pdr.ctx.clauses;
+    stats.solve_calls = pdr.ctx.solve_calls;
+    stats.generalization_drops = pdr.ctx.generalization_drops;
+    stats.conflicts = pdr.ctx.solver.stats().conflicts;
+    stats.propagations = pdr.ctx.solver.stats().propagations;
     if tracer.is_enabled() {
         stats.emit(tracer, "pdr");
-        pdr.solver.stats().emit(tracer, "sat");
-        let u = pdr.enc.unroller().stats();
+        pdr.ctx.solver.stats().emit(tracer, "sat");
+        let u = pdr.ctx.enc.unroller().stats();
         tracer.counter("unroll.pdr.frames", u.frames);
         tracer.counter("unroll.pdr.gates", u.gates);
         tracer.counter("unroll.pdr.cache_hits", u.cache_hits);

@@ -51,6 +51,7 @@
 pub mod certificate;
 pub mod deep;
 pub mod engine;
+pub mod parallel;
 pub mod portfolio;
 
 pub use certificate::{Certificate, CertificateCheck, StateLiteral};
@@ -58,8 +59,14 @@ pub use engine::{
     check_property_pdr, check_property_pdr_traced, check_property_pdr_with_cancel, PdrOptions,
     PdrOutcome, PdrResult, PdrStats,
 };
+pub use parallel::{
+    check_property_pdr_parallel, check_property_pdr_parallel_traced, default_threads,
+    ParallelPdrOptions,
+};
 pub use portfolio::{
-    check_property_portfolio, check_property_portfolio_traced, PortfolioResult, PortfolioWinner,
+    check_property_portfolio, check_property_portfolio_parallel,
+    check_property_portfolio_parallel_traced, check_property_portfolio_traced, PortfolioResult,
+    PortfolioWinner,
 };
 
 // Re-exported so callers can name the shared vocabulary without a direct

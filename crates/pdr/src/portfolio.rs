@@ -30,6 +30,7 @@ use ipcl_trace::{Tracer, Value};
 
 use crate::certificate::Certificate;
 use crate::engine::{check_property_pdr_traced, PdrOptions, PdrOutcome, PdrResult};
+use crate::parallel::{check_property_pdr_parallel_traced, ParallelPdrOptions};
 
 /// Which engine produced the portfolio's verdict.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -163,6 +164,83 @@ pub fn check_property_portfolio_traced(
     pdr_options: &PdrOptions,
     tracer: &Tracer,
 ) -> Result<PortfolioResult, BmcError> {
+    race_portfolio(spec, netlist, property, bmc_options, tracer, |cancel| {
+        check_property_pdr_traced(spec, netlist, property, pdr_options, Some(cancel), tracer)
+    })
+}
+
+/// The portfolio with the parallel proof engine as the PDR racer: BMC
+/// falsification races [`check_property_pdr_parallel_traced`]'s
+/// work-stealing round scheduler. One BMC thread plus
+/// [`ParallelPdrOptions::threads`] PDR workers run concurrently; the
+/// first definitive verdict cancels the other engine (the parallel
+/// engine polls its cancel flag between rounds).
+///
+/// The PDR racer keeps its determinism guarantee — for a *fixed winner*,
+/// its verdict, trace and certificate are bit-identical across worker
+/// counts — but which engine wins the race is a wall-clock property, as
+/// in the sequential portfolio.
+///
+/// # Errors
+///
+/// As [`check_property_portfolio`].
+pub fn check_property_portfolio_parallel(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    bmc_options: &BmcOptions,
+    pdr_options: &ParallelPdrOptions,
+) -> Result<PortfolioResult, BmcError> {
+    check_property_portfolio_parallel_traced(
+        spec,
+        netlist,
+        property,
+        bmc_options,
+        pdr_options,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`check_property_portfolio_parallel`] with a [`Tracer`]; see
+/// [`check_property_portfolio_traced`] for the race's observability and
+/// the parallel engine's docs for its worker-tagged event stream.
+///
+/// # Errors
+///
+/// As [`check_property_portfolio`].
+pub fn check_property_portfolio_parallel_traced(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    bmc_options: &BmcOptions,
+    pdr_options: &ParallelPdrOptions,
+    tracer: &Tracer,
+) -> Result<PortfolioResult, BmcError> {
+    race_portfolio(spec, netlist, property, bmc_options, tracer, |cancel| {
+        check_property_pdr_parallel_traced(
+            spec,
+            netlist,
+            property,
+            pdr_options,
+            Some(cancel),
+            tracer,
+        )
+    })
+}
+
+/// The shared race body: BMC on one scoped thread, the given PDR racer
+/// (sequential or parallel) on another, first definitive verdict cancels.
+fn race_portfolio<F>(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    bmc_options: &BmcOptions,
+    tracer: &Tracer,
+    pdr_racer: F,
+) -> Result<PortfolioResult, BmcError>
+where
+    F: FnOnce(&AtomicBool) -> Result<PdrResult, BmcError> + Send,
+{
     let _span = tracer.span("portfolio.race");
     // Announce the race on the live-progress feed; the racers' own
     // `heartbeat` events (engine = "bmc" / "pdr" / "sat") take over from
@@ -196,14 +274,7 @@ pub fn check_property_portfolio_traced(
             (result, stamp)
         });
         let pdr_handle = scope.spawn(|| {
-            let result = check_property_pdr_traced(
-                spec,
-                netlist,
-                property,
-                pdr_options,
-                Some(&cancel),
-                tracer,
-            );
+            let result = pdr_racer(&cancel);
             let stamp = finish_order.fetch_add(1, Ordering::SeqCst);
             if pdr_definitive(&result) {
                 cancel.store(true, Ordering::Relaxed);

@@ -25,7 +25,9 @@
 
 pub mod solver;
 
-pub use solver::{RestartStrategy, SatResult, Solver, SolverConfig, SolverStats, HEARTBEAT_MS};
+pub use solver::{
+    RestartStrategy, SatResult, Solver, SolverConfig, SolverStats, HEARTBEAT_MS, SHARE_MAX_LEN,
+};
 
 use ipcl_expr::{Expr, TseitinEncoder};
 

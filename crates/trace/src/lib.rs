@@ -251,6 +251,10 @@ impl Drop for LocalProfile {
 thread_local! {
     /// Compact per-process thread id, assigned on first traced activity.
     static THREAD_ID: u64 = THREAD_COUNTER.fetch_add(1, Ordering::Relaxed);
+    /// Logical worker id of this thread (parallel engines), stamped onto
+    /// every recorded event as a trailing `worker` field. See
+    /// [`set_worker`].
+    static WORKER_ID: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
     /// The current span nesting of this thread (shared by all tracers; a
     /// guard only ever pops the name it pushed, so interleaved tracers
     /// stay consistent).
@@ -261,6 +265,20 @@ thread_local! {
 
 fn thread_id() -> u64 {
     THREAD_ID.with(|id| *id)
+}
+
+/// Declares the current thread a logical worker of a parallel engine:
+/// until cleared with `set_worker(None)`, every event this thread records
+/// (through any tracer) carries a trailing `worker` field with the given
+/// id. Thread ids already distinguish event streams, but they are assigned
+/// in first-use order and so differ run to run; the worker id is the
+/// stable scheduler-level identity (worker 0 is the parallel PDR master).
+pub fn set_worker(id: Option<u64>) {
+    WORKER_ID.with(|w| w.set(id));
+}
+
+fn worker_id() -> Option<u64> {
+    WORKER_ID.with(|w| w.get())
 }
 
 /// A cheap cloneable tracing handle. See the crate docs.
@@ -373,8 +391,11 @@ impl Tracer {
         &self,
         core: &Core,
         kind: &'static str,
-        fields: Vec<(Cow<'static, str>, Value)>,
+        mut fields: Vec<(Cow<'static, str>, Value)>,
     ) {
+        if let Some(worker) = worker_id() {
+            fields.push((Cow::Borrowed("worker"), Value::U64(worker)));
+        }
         let seq = core.seq.fetch_add(1, Ordering::Relaxed);
         let event = Event {
             seq,
@@ -701,6 +722,38 @@ mod tests {
         }
         assert_eq!(tracer.event_count(), 0);
         assert!(tracer.snapshot().is_none());
+    }
+
+    #[test]
+    fn worker_tag_is_appended_per_thread_and_cleared() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        tracer.event("untagged", &[("x", Value::U64(1))]);
+        set_worker(Some(3));
+        tracer.event("tagged", &[("x", Value::U64(2))]);
+        set_worker(None);
+        tracer.event("untagged_again", &[]);
+        // Another thread's tag does not leak into this one.
+        std::thread::scope(|scope| {
+            let tracer = &tracer;
+            scope.spawn(move || {
+                set_worker(Some(7));
+                tracer.event("other_thread", &[]);
+            });
+        });
+        let snapshot = tracer.snapshot().unwrap();
+        let field = |kind: &str| {
+            snapshot
+                .events
+                .iter()
+                .find(|e| e.kind == kind)
+                .expect(kind)
+                .field("worker")
+                .cloned()
+        };
+        assert_eq!(field("untagged"), None);
+        assert_eq!(field("tagged"), Some(Value::U64(3)));
+        assert_eq!(field("untagged_again"), None);
+        assert_eq!(field("other_thread"), Some(Value::U64(7)));
     }
 
     #[test]

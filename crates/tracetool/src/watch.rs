@@ -35,24 +35,38 @@ fn field_text(event: &Event, name: &str) -> Option<String> {
 /// [12.3s] bmc depth=7/40 | pdr frame=4 queue=3 | sat conflicts=+812 restarts=+3
 /// ```
 ///
+/// The parallel PDR engine's heartbeats carry a `worker` field (the master
+/// scheduler is worker 0, each solver thread its own id); those render as
+/// one entry per worker:
+///
+/// ```text
+/// [4.2s] pdr:w0 frame=6 queue=2 clauses=911 | pdr:w1 queue=3 solved=48 imported=12 exported=9
+/// ```
+///
 /// Returns `None` when `events` holds no heartbeats yet.
 pub fn progress_line(events: &[Event]) -> Option<String> {
-    // Freshest heartbeat per engine, in first-seen engine order.
+    // Freshest heartbeat per engine (split per worker for the parallel
+    // PDR engine), in first-seen order.
     let mut latest: BTreeMap<String, &Event> = BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
     for event in events.iter().filter(|e| e.kind == "heartbeat") {
         let engine = field_text(event, "engine").unwrap_or_else(|| "?".to_owned());
-        if !latest.contains_key(&engine) {
-            order.push(engine.clone());
+        let key = match field_text(event, "worker") {
+            Some(worker) if engine == "pdr" => format!("{engine}:w{worker}"),
+            _ => engine,
+        };
+        if !latest.contains_key(&key) {
+            order.push(key.clone());
         }
-        latest.insert(engine, event);
+        latest.insert(key, event);
     }
     let newest = latest.values().map(|e| e.t_us).max()?;
     let mut out = format!("[{:.1}s]", newest as f64 / 1e6);
-    for engine in &order {
-        let event = latest[engine];
-        let _ = write!(out, " {engine}");
-        match engine.as_str() {
+    for key in &order {
+        let event = latest[key];
+        let _ = write!(out, " {key}");
+        let engine = key.split(':').next().unwrap_or(key);
+        match engine {
             "bmc" => {
                 if let (Some(depth), Some(max)) =
                     (field_text(event, "depth"), field_text(event, "max_depth"))
@@ -61,16 +75,21 @@ pub fn progress_line(events: &[Event]) -> Option<String> {
                 }
             }
             "pdr" => {
-                for key in ["frame", "queue", "clauses"] {
-                    if let Some(v) = field_text(event, key) {
-                        let _ = write!(out, " {key}={v}");
+                // The master's beat carries frame/queue/clauses; a solver
+                // worker's beat carries queue/solved and its clause-exchange
+                // counters. Render whichever are present.
+                for field in [
+                    "frame", "queue", "clauses", "solved", "imported", "exported",
+                ] {
+                    if let Some(v) = field_text(event, field) {
+                        let _ = write!(out, " {field}={v}");
                     }
                 }
             }
             "sat" => {
-                for key in ["conflicts", "restarts"] {
-                    if let Some(v) = field_text(event, key) {
-                        let _ = write!(out, " {key}=+{v}");
+                for field in ["conflicts", "restarts"] {
+                    if let Some(v) = field_text(event, field) {
+                        let _ = write!(out, " {field}=+{v}");
                     }
                 }
             }
@@ -192,6 +211,67 @@ mod tests {
         );
         assert!(!line.contains("depth=3"), "stale beat dropped: {line}");
         assert!(line.contains("sat conflicts=+812 restarts=+3"), "{line}");
+    }
+
+    #[test]
+    fn progress_line_splits_parallel_pdr_heartbeats_per_worker() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        // The master scheduler's beat (worker 0) and two solver workers',
+        // as tagged by `ipcl_trace::set_worker` in the parallel engine.
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("pdr")),
+                ("frame", Value::U64(6)),
+                ("queue", Value::U64(2)),
+                ("worker", Value::U64(0)),
+            ],
+        );
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("pdr")),
+                ("queue", Value::U64(3)),
+                ("solved", Value::U64(40)),
+                ("imported", Value::U64(12)),
+                ("worker", Value::U64(1)),
+            ],
+        );
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("pdr")),
+                ("queue", Value::U64(1)),
+                ("solved", Value::U64(48)),
+                ("worker", Value::U64(1)),
+            ],
+        );
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("pdr")),
+                ("queue", Value::U64(5)),
+                ("solved", Value::U64(39)),
+                ("worker", Value::U64(2)),
+            ],
+        );
+        let snapshot = tracer.snapshot().unwrap();
+        let line = progress_line(&snapshot.events).expect("heartbeats present");
+        assert!(line.contains("pdr:w0 frame=6 queue=2"), "{line}");
+        assert!(
+            line.contains("pdr:w1 queue=1 solved=48"),
+            "freshest beat per worker wins: {line}"
+        );
+        assert!(!line.contains("solved=40"), "stale worker beat: {line}");
+        assert!(line.contains("pdr:w2 queue=5 solved=39"), "{line}");
+        // An untagged (sequential-engine) beat keeps its plain key.
+        tracer.event(
+            "heartbeat",
+            &[("engine", Value::from("pdr")), ("frame", Value::U64(9))],
+        );
+        let snapshot = tracer.snapshot().unwrap();
+        let line = progress_line(&snapshot.events).expect("heartbeats present");
+        assert!(line.contains(" pdr frame=9"), "{line}");
     }
 
     #[test]
