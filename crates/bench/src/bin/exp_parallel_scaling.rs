@@ -18,7 +18,9 @@
 //!   fast path; asserted in full runs, reported in smoke runs);
 //! * ≥ 3× speedup at 8 workers over 1 worker on the deepest chain —
 //!   asserted only in full runs on hosts with ≥ 8 available cores, since
-//!   wall-clock scaling is meaningless on fewer.
+//!   wall-clock scaling is meaningless on fewer. When the assertion
+//!   cannot run, the deepest chain's 8-worker row says so explicitly
+//!   (`"gated": true`, plus a stderr note) rather than passing silently.
 //!
 //! Per-run attribution metrics (`imported`, `exported`, `speedup`) are
 //! *not* deterministic across runs — which worker solves which task is
@@ -187,6 +189,17 @@ fn main() {
             }
             let speedup = one_worker_ms / ms;
             let stats = &measured.result.stats;
+            // The ≥3× scaling claim only applies to the deepest chain's
+            // 8-worker row, and only measures on full runs with ≥8 cores.
+            // When it cannot be asserted the row says so explicitly —
+            // `"gated": true` — instead of silently passing.
+            let scaling_row = workers == 8 && depth == deepest;
+            let gated = scaling_row && (smoke || cores < 8);
+            let gated_field = if scaling_row {
+                format!(", \"gated\": {gated}")
+            } else {
+                String::new()
+            };
             // `clauses`/`obligations` are canonical statistics (identical
             // at every worker count and run); `speedup`/`imported`/
             // `exported` are per-run attribution, ignored by
@@ -198,7 +211,7 @@ fn main() {
                     "  {{\"experiment\": \"parallel_scaling\", \"workload\": \"{}\", ",
                     "\"engine\": \"parallel\", \"workers\": {}, \"verdict\": \"{}\", ",
                     "\"ms\": {:.3}, \"speedup\": {:.3}, \"clauses\": {}, \"obligations\": {}, ",
-                    "\"imported\": {}, \"exported\": {}}}"
+                    "\"imported\": {}, \"exported\": {}{}}}"
                 ),
                 name,
                 workers,
@@ -209,6 +222,7 @@ fn main() {
                 stats.obligations,
                 stats.imported_clauses,
                 stats.exported_clauses,
+                gated_field,
             ));
 
             // ---- the scaling claims, where measurable.
@@ -226,11 +240,16 @@ fn main() {
                     );
                 }
             }
-            if workers == 8 && depth == deepest && !smoke && cores >= 8 {
+            if scaling_row && !gated {
                 assert!(
                     speedup >= 3.0,
                     "{name}: expected ≥3x speedup at 8 workers on an {cores}-core host, \
                      got {speedup:.2}x"
+                );
+            } else if scaling_row && cores < 8 {
+                eprintln!(
+                    "{name}: ≥3x @ 8 workers assertion gated: host has {cores} cores (<8), \
+                     wall-clock scaling is not measurable"
                 );
             }
         }

@@ -1,0 +1,211 @@
+//! Experiment E15: verification-service load and cache effectiveness.
+//!
+//! Drives an in-process `ipcl-serve` server (`Server::start` on a loopback
+//! port, real TCP, real protocol) with a mixed stream of jobs over the
+//! deep wait-state chain family and measures what the proof cache buys:
+//!
+//! * a **cold** round submits every unique design once — all misses, each
+//!   job pays a full PDR solve; its p50 is the baseline solve latency;
+//! * a **warm** round replays thousands of jobs drawn round-robin from the
+//!   same designs, plus a few never-seen designs so the stream stays mixed
+//!   — the repeats are structural-hash cache hits, each re-validated
+//!   through the independent certificate checker before being served.
+//!
+//! Every job is submitted and awaited individually over the wire, so the
+//! per-job latencies are honest client-observed round-trips (transport +
+//! cache probe + re-validation, or transport + solve on a miss).
+//!
+//! Asserted invariants:
+//!
+//! * every verdict is `proved`; cold-round jobs are never served from
+//!   cache; warm-round hit-rate is ≥ 90% (the job mix is deterministic);
+//! * in full runs, the warm round's hit-only p50 is **< 1% of the cold
+//!   solve p50** — the headline cache-effectiveness claim (reported but
+//!   not asserted under `--smoke`, where the designs are too small for
+//!   the ratio to be meaningful).
+//!
+//! Emits a `BENCH_*.json` document on stdout; `--smoke` shrinks the job
+//! count for CI; `--threads N` sizes the server's worker pool; `--trace` /
+//! `--profile` / `--watch` enable the observability layer (the progress
+//! line renders the server's queue shape and live hit-rate).
+
+use std::time::Instant;
+
+use ipcl_bench::{emit_bench_json, TraceArgs};
+use ipcl_bmc::{Latency, PropertyKind};
+use ipcl_checker::ProofStrategy;
+use ipcl_pdr::deep::deep_pipeline;
+use ipcl_serve::{Client, JobRequest, PropertyRequest, Server, ServerConfig, Verdict};
+
+fn job_for_depth(depth: usize) -> JobRequest {
+    let (spec, netlist) = deep_pipeline(depth);
+    JobRequest {
+        spec,
+        netlist,
+        property: PropertyRequest {
+            stage_index: 0,
+            kind: PropertyKind::Performance,
+            latency: Some(Latency::Combinational),
+        },
+        strategy: ProofStrategy::Pdr,
+        threads: 1,
+    }
+}
+
+struct RoundStats {
+    jobs: usize,
+    hits: usize,
+    latencies_ms: Vec<f64>,
+    hit_latencies_ms: Vec<f64>,
+    wall_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index]
+}
+
+/// Submits and awaits each job individually, recording round-trip
+/// latencies and which answers came from the cache.
+fn run_round(client: &mut Client, jobs: &[&JobRequest], round: &str) -> RoundStats {
+    let mut latencies_ms = Vec::with_capacity(jobs.len());
+    let mut hit_latencies_ms = Vec::new();
+    let mut hits = 0;
+    let round_start = Instant::now();
+    for job in jobs {
+        let start = Instant::now();
+        let id = client.submit(job).expect("submit");
+        let outcome = client.wait(id).expect("wait");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            outcome.verdict,
+            Verdict::Proved,
+            "{round}: {} must prove ({})",
+            outcome.property,
+            outcome.detail
+        );
+        if outcome.cached {
+            hits += 1;
+            hit_latencies_ms.push(ms);
+        }
+        latencies_ms.push(ms);
+    }
+    let wall_s = round_start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    hit_latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    RoundStats {
+        jobs: jobs.len(),
+        hits,
+        latencies_ms,
+        hit_latencies_ms,
+        wall_s,
+    }
+}
+
+fn render_entry(round: &str, stats: &RoundStats, extra: &str) -> String {
+    format!(
+        concat!(
+            "  {{\"experiment\": \"serve_load\", \"round\": \"{}\", \"jobs\": {}, ",
+            "\"hit_rate\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+            "\"jobs_per_sec\": {:.1}{}}}"
+        ),
+        round,
+        stats.jobs,
+        stats.hits as f64 / stats.jobs as f64,
+        percentile(&stats.latencies_ms, 0.50),
+        percentile(&stats.latencies_ms, 0.99),
+        stats.jobs as f64 / stats.wall_s,
+        extra,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let trace = TraceArgs::from_env();
+
+    // The unique design pool: one design per chain depth. Deeper chains
+    // mean costlier solves and a starker hit/miss latency gap — the full
+    // sweep starts at depth 16 where a cold solve costs ~100ms+ while a
+    // re-validated cache hit stays sub-millisecond.
+    let depths: Vec<usize> = if smoke {
+        (4..=8).collect()
+    } else {
+        (16..=22).collect()
+    };
+    let warm_jobs = if smoke { 40 } else { 2000 };
+    let fresh_depths: Vec<usize> = if smoke { vec![9] } else { vec![23, 24, 25] };
+
+    let designs: Vec<JobRequest> = depths.iter().map(|&d| job_for_depth(d)).collect();
+    let fresh: Vec<JobRequest> = fresh_depths.iter().map(|&d| job_for_depth(d)).collect();
+
+    let server = Server::start(
+        ServerConfig {
+            workers: trace.threads.clamp(1, 8),
+            ..ServerConfig::default()
+        },
+        trace.tracer().clone(),
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // ---- cold round: every unique design once; all misses.
+    let cold_jobs: Vec<&JobRequest> = designs.iter().collect();
+    let cold = run_round(&mut client, &cold_jobs, "cold");
+    assert_eq!(cold.hits, 0, "cold round must not see cache hits");
+    let cold_p50 = percentile(&cold.latencies_ms, 0.50);
+
+    // ---- warm round: a deterministic round-robin replay of the known
+    // designs, with the fresh (never-solved) designs interleaved so the
+    // stream stays a hit/miss mix.
+    let mut warm_jobs_list: Vec<&JobRequest> = (0..warm_jobs)
+        .map(|i| &designs[i % designs.len()])
+        .collect();
+    for (slot, job) in fresh.iter().enumerate() {
+        // Spread the misses through the stream rather than clustering them.
+        let at = (slot + 1) * warm_jobs_list.len() / (fresh.len() + 1);
+        warm_jobs_list.insert(at.min(warm_jobs_list.len()), job);
+    }
+    let warm = run_round(&mut client, &warm_jobs_list, "warm");
+    let hit_rate = warm.hits as f64 / warm.jobs as f64;
+    let hit_p50 = percentile(&warm.hit_latencies_ms, 0.50);
+
+    assert!(
+        hit_rate >= 0.90,
+        "warm round hit-rate {hit_rate:.3} must be ≥ 0.90 ({} hits / {} jobs)",
+        warm.hits,
+        warm.jobs
+    );
+    let hit_ratio = hit_p50 / cold_p50;
+    eprintln!(
+        "cold p50 {cold_p50:.3}ms, warm hit p50 {hit_p50:.3}ms ({:.2}% of cold solve)",
+        hit_ratio * 100.0
+    );
+    if !smoke {
+        assert!(
+            hit_ratio < 0.01,
+            "cache hits must return in <1% of the cold-solve p50 \
+             (hit p50 {hit_p50:.3}ms vs cold p50 {cold_p50:.3}ms)"
+        );
+    }
+
+    let entries = vec![
+        render_entry("cold", &cold, ""),
+        render_entry("warm", &warm, &format!(", \"hit_p50_ms\": {hit_p50:.3}")),
+    ];
+
+    client.shutdown().expect("graceful shutdown handshake");
+    server.shutdown();
+
+    emit_bench_json("serve_load", smoke, &entries);
+    eprintln!(
+        "{} unique designs, {} warm jobs, hit-rate {:.1}%",
+        designs.len(),
+        warm.jobs,
+        hit_rate * 100.0
+    );
+    trace.finish();
+}

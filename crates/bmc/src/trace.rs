@@ -42,6 +42,25 @@ pub struct Replay {
     pub violation_reproduced: bool,
 }
 
+/// Appends `s` as a JSON string literal (quotes, escapes). Local copy of
+/// `ipcl_tracetool::json::write_json_string` — the emit side must not pull
+/// the trace-analytics crate into the proof engine.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 impl Counterexample {
     /// Number of frames (cycles) in the trace.
     pub fn length(&self) -> usize {
@@ -109,6 +128,41 @@ impl Counterexample {
             observations,
             violation_reproduced,
         })
+    }
+
+    /// Serialises the trace as a single-line JSON object:
+    ///
+    /// ```json
+    /// {"property": "long.4/functional", "violation_frame": 3,
+    ///  "frames": [{"long.req": true, "c.gnt": false, ...}, ...]}
+    /// ```
+    ///
+    /// The format is the storage side of the `ipcl-serve` result cache;
+    /// the matching parser lives there (`ipcl_serve::protocol`). Signal
+    /// names are JSON-escaped, so any netlist naming round-trips.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"property\": ");
+        write_json_string(&mut out, &self.property);
+        out.push_str(&format!(
+            ", \"violation_frame\": {}, \"frames\": [",
+            self.violation_frame
+        ));
+        for (i, frame) in self.frames.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('{');
+            for (j, (name, value)) in frame.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write_json_string(&mut out, name);
+                out.push_str(&format!(": {value}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Renders the trace as a waveform-style table for reports.

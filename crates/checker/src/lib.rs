@@ -39,9 +39,9 @@ pub use implementation::{
     SpecDirection, StageVerdict,
 };
 pub use sequential::{
-    check_netlist_sequential, check_netlist_sequential_with, check_reset_values,
-    random_falsification, DynamicViolation, ProofStrategy, ResetReport, SequentialOptions,
-    SequentialReport, DEFAULT_PREPASS_SEED,
+    check_netlist_sequential, check_netlist_sequential_with, check_property_job,
+    check_reset_values, random_falsification, DynamicViolation, ProofStrategy, ResetReport,
+    SequentialOptions, SequentialReport, DEFAULT_PREPASS_SEED,
 };
 // The BMC/PDR vocabulary types, so callers of the sequential checker need
 // not depend on `ipcl-bmc` / `ipcl-pdr` directly.

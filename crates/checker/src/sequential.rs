@@ -39,8 +39,8 @@ use ipcl_core::FunctionalSpec;
 use ipcl_expr::Assignment;
 use ipcl_pdr::{
     check_property_pdr_parallel_traced, check_property_pdr_traced,
-    check_property_portfolio_parallel_traced, check_property_portfolio_traced, Certificate,
-    ParallelPdrOptions, PdrOptions, PdrOutcome, PdrResult, PortfolioWinner,
+    check_property_portfolio_parallel_with_cancel, check_property_portfolio_with_cancel,
+    Certificate, ParallelPdrOptions, PdrOptions, PdrOutcome, PdrResult, PortfolioWinner,
 };
 use ipcl_rtl::{Netlist, RtlError, SignalKind, Simulator};
 use ipcl_trace::{TraceConfig, TraceSnapshot, Tracer, Value};
@@ -489,9 +489,43 @@ fn check_one_property(
     options: &SequentialOptions,
     tracer: &Tracer,
 ) -> Result<(BmcResult, Option<Certificate>), BmcError> {
+    check_property_job(spec, netlist, property, options, None, tracer)
+}
+
+/// The job-oriented single-property entry point: decides `property` with
+/// the configured [`ProofStrategy`], with an optional **cancellation
+/// token** the owner can raise at any time — the engines poll it between
+/// SAT queries (BMC: per depth; PDR: per obligation; the portfolio
+/// forwards it to both racers), so a cancelled job returns promptly with
+/// an `Unknown` outcome rather than being killed mid-query.
+///
+/// This is what a job server (`ipcl-serve`) schedules onto its worker
+/// pool: one call per queued (netlist, property) pair, one token per job.
+/// [`check_netlist_sequential_with`] is this function mapped over the full
+/// property portfolio without a token.
+///
+/// Returns the folded [`BmcResult`] plus the validated certificate when
+/// the proof came from PDR.
+///
+/// # Errors
+///
+/// As [`check_netlist_sequential`].
+///
+/// # Panics
+///
+/// Like the full checker, on a PDR certificate that fails its independent
+/// validation (an engine bug, not a verdict).
+pub fn check_property_job(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    options: &SequentialOptions,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+    tracer: &Tracer,
+) -> Result<(BmcResult, Option<Certificate>), BmcError> {
     match options.strategy {
         ProofStrategy::KInduction => {
-            check_property_traced(spec, netlist, property, &options.bmc, None, tracer)
+            check_property_traced(spec, netlist, property, &options.bmc, cancel, tracer)
                 .map(|r| (r, None))
         }
         ProofStrategy::Pdr => {
@@ -501,31 +535,33 @@ fn check_one_property(
                     netlist,
                     property,
                     &parallel_options(options),
-                    None,
+                    cancel,
                     tracer,
                 )?
             } else {
-                check_property_pdr_traced(spec, netlist, property, &options.pdr, None, tracer)?
+                check_property_pdr_traced(spec, netlist, property, &options.pdr, cancel, tracer)?
             };
             Ok(fold_pdr_result(result))
         }
         ProofStrategy::Portfolio => {
             let result = if options.threads >= 2 {
-                check_property_portfolio_parallel_traced(
+                check_property_portfolio_parallel_with_cancel(
                     spec,
                     netlist,
                     property,
                     &options.bmc,
                     &parallel_options(options),
+                    cancel,
                     tracer,
                 )?
             } else {
-                check_property_portfolio_traced(
+                check_property_portfolio_with_cancel(
                     spec,
                     netlist,
                     property,
                     &options.bmc,
                     &options.pdr,
+                    cancel,
                     tracer,
                 )?
             };

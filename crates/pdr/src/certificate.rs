@@ -97,6 +97,25 @@ impl fmt::Display for CertificateCheck {
     }
 }
 
+/// Appends `s` as a JSON string literal (quotes, escapes). Local copy of
+/// `ipcl_tracetool::json::write_json_string` — the emit side must not pull
+/// the trace-analytics crate into the proof engine.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 impl Certificate {
     /// Whether the certificate is the trivial invariant `true`.
     pub fn is_trivial(&self) -> bool {
@@ -118,6 +137,39 @@ impl Certificate {
             let lits: Vec<String> = clause.iter().map(|l| l.to_string()).collect();
             out.push_str(&format!("  ({})\n", lits.join(" | ")));
         }
+        out
+    }
+
+    /// Serialises the certificate as a single-line JSON object:
+    ///
+    /// ```json
+    /// {"property": "deep.1/performance",
+    ///  "clauses": [[{"register": "wait[0]", "positive": false}, ...], ...]}
+    /// ```
+    ///
+    /// The format is the storage side of the `ipcl-serve` proof cache;
+    /// the matching parser lives there (`ipcl_serve::protocol`). Register
+    /// names are JSON-escaped, so any netlist naming round-trips.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"property\": ");
+        write_json_string(&mut out, &self.property);
+        out.push_str(", \"clauses\": [");
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            for (j, lit) in clause.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"register\": ");
+                write_json_string(&mut out, &lit.register);
+                out.push_str(&format!(", \"positive\": {}}}", lit.positive));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
         out
     }
 

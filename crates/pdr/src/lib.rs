@@ -65,7 +65,8 @@ pub use parallel::{
 };
 pub use portfolio::{
     check_property_portfolio, check_property_portfolio_parallel,
-    check_property_portfolio_parallel_traced, check_property_portfolio_traced, PortfolioResult,
+    check_property_portfolio_parallel_traced, check_property_portfolio_parallel_with_cancel,
+    check_property_portfolio_traced, check_property_portfolio_with_cancel, PortfolioResult,
     PortfolioWinner,
 };
 

@@ -164,9 +164,45 @@ pub fn check_property_portfolio_traced(
     pdr_options: &PdrOptions,
     tracer: &Tracer,
 ) -> Result<PortfolioResult, BmcError> {
-    race_portfolio(spec, netlist, property, bmc_options, tracer, |cancel| {
-        check_property_pdr_traced(spec, netlist, property, pdr_options, Some(cancel), tracer)
-    })
+    check_property_portfolio_with_cancel(
+        spec,
+        netlist,
+        property,
+        bmc_options,
+        pdr_options,
+        None,
+        tracer,
+    )
+}
+
+/// [`check_property_portfolio_traced`] with an **external** cancellation
+/// flag: when the caller raises `cancel`, both racers stop at their next
+/// poll point and the race returns with whatever (possibly `Unknown`)
+/// results are in hand. This is the job-cancellation hook of `ipcl-serve` —
+/// the same cooperative machinery the race itself uses to cancel the
+/// losing engine, re-exposed to the job owner.
+///
+/// # Errors
+///
+/// As [`check_property_portfolio`].
+pub fn check_property_portfolio_with_cancel(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    bmc_options: &BmcOptions,
+    pdr_options: &PdrOptions,
+    cancel: Option<&AtomicBool>,
+    tracer: &Tracer,
+) -> Result<PortfolioResult, BmcError> {
+    race_portfolio(
+        spec,
+        netlist,
+        property,
+        bmc_options,
+        cancel,
+        tracer,
+        |flag| check_property_pdr_traced(spec, netlist, property, pdr_options, Some(flag), tracer),
+    )
 }
 
 /// The portfolio with the parallel proof engine as the PDR racer: BMC
@@ -216,25 +252,63 @@ pub fn check_property_portfolio_parallel_traced(
     pdr_options: &ParallelPdrOptions,
     tracer: &Tracer,
 ) -> Result<PortfolioResult, BmcError> {
-    race_portfolio(spec, netlist, property, bmc_options, tracer, |cancel| {
-        check_property_pdr_parallel_traced(
-            spec,
-            netlist,
-            property,
-            pdr_options,
-            Some(cancel),
-            tracer,
-        )
-    })
+    check_property_portfolio_parallel_with_cancel(
+        spec,
+        netlist,
+        property,
+        bmc_options,
+        pdr_options,
+        None,
+        tracer,
+    )
+}
+
+/// [`check_property_portfolio_parallel_traced`] with an **external**
+/// cancellation flag; see [`check_property_portfolio_with_cancel`].
+///
+/// # Errors
+///
+/// As [`check_property_portfolio`].
+pub fn check_property_portfolio_parallel_with_cancel(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+    bmc_options: &BmcOptions,
+    pdr_options: &ParallelPdrOptions,
+    cancel: Option<&AtomicBool>,
+    tracer: &Tracer,
+) -> Result<PortfolioResult, BmcError> {
+    race_portfolio(
+        spec,
+        netlist,
+        property,
+        bmc_options,
+        cancel,
+        tracer,
+        |flag| {
+            check_property_pdr_parallel_traced(
+                spec,
+                netlist,
+                property,
+                pdr_options,
+                Some(flag),
+                tracer,
+            )
+        },
+    )
 }
 
 /// The shared race body: BMC on one scoped thread, the given PDR racer
 /// (sequential or parallel) on another, first definitive verdict cancels.
+/// An external `cancel` flag, when given, is forwarded into the race's
+/// internal flag by a poller thread, so a job owner can stop both racers
+/// mid-flight without either engine knowing about the extra layer.
 fn race_portfolio<F>(
     spec: &FunctionalSpec,
     netlist: &Netlist,
     property: &SequentialProperty,
     bmc_options: &BmcOptions,
+    external_cancel: Option<&AtomicBool>,
     tracer: &Tracer,
     pdr_racer: F,
 ) -> Result<PortfolioResult, BmcError>
@@ -263,6 +337,22 @@ where
     let finish_order = AtomicUsize::new(0);
 
     let (bmc, bmc_stamp, pdr, pdr_stamp) = std::thread::scope(|scope| {
+        // Forward the owner's cancellation into the race's internal flag.
+        // The poller exits as soon as the internal flag is set — by the
+        // owner (via this thread), by the winning racer, or by the final
+        // store below once both racers have returned.
+        if let Some(external) = external_cancel {
+            scope.spawn(|| {
+                while !cancel.load(Ordering::Relaxed) {
+                    if external.load(Ordering::Relaxed) {
+                        cancel.store(true, Ordering::Relaxed);
+                        tracer.event("portfolio_cancel", &[("engine", Value::from("external"))]);
+                        break;
+                    }
+                    std::thread::park_timeout(std::time::Duration::from_millis(2));
+                }
+            });
+        }
         let bmc_handle = scope.spawn(|| {
             let result =
                 check_property_traced(spec, netlist, property, &bmc_options, Some(&cancel), tracer);
@@ -284,6 +374,9 @@ where
         });
         let (bmc, bmc_stamp) = bmc_handle.join().expect("BMC racer thread panicked");
         let (pdr, pdr_stamp) = pdr_handle.join().expect("PDR racer thread panicked");
+        // Release the external-cancel poller (both racers may have come
+        // back Unknown without anyone setting the flag).
+        cancel.store(true, Ordering::Relaxed);
         (bmc, bmc_stamp, pdr, pdr_stamp)
     });
 

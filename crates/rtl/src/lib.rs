@@ -33,6 +33,7 @@
 //! # Ok::<(), ipcl_rtl::RtlError>(())
 //! ```
 
+pub mod digest;
 pub mod extract;
 pub mod netlist;
 pub mod sim;
@@ -40,6 +41,7 @@ pub mod trace;
 pub mod unroll;
 pub mod verilog;
 
+pub use digest::{sha256_hex, structural_digest};
 pub use netlist::{Gate, Netlist, RtlError, Signal, SignalId, SignalKind};
 pub use sim::Simulator;
 pub use trace::Trace;

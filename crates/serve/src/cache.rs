@@ -1,0 +1,294 @@
+//! The revalidating proof cache.
+//!
+//! The cache key is a *semantic* fingerprint of the job: the canonical
+//! structural digest of the netlist ([`ipcl_rtl::structural_digest`],
+//! interface-pinned on the property's variables) combined with the property
+//! itself (name, kind, `ok` expression text, latency). Structurally
+//! identical implementations — renamed internal signals, reordered
+//! declarations, different module names — therefore share entries, while
+//! any semantic mutation (a dropped gate, a flipped reset value) lands in a
+//! different slot.
+//!
+//! The digest decides where to *look*, never what to *trust*: every hit is
+//! re-validated against the submitted problem before it is served — a
+//! proved entry must pass [`Certificate::validate`]'s independent
+//! initiation/consecution/safety SAT checks, a falsified entry must replay
+//! its trace through the cycle-accurate simulator and reproduce the
+//! violation. An entry that fails revalidation (hash collision, stale
+//! store, renamed registers outside the interface) is treated as a miss and
+//! overwritten by the fresh result, so a corrupted cache can cost time but
+//! never soundness.
+//!
+//! Entries live in memory and, when a cache directory is configured, as
+//! one `<key>.json` file per entry (the [`JobOutcome`] wire format), so a
+//! restarted server keeps its warm proofs.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ipcl_bmc::SequentialProperty;
+use ipcl_core::FunctionalSpec;
+use ipcl_rtl::{sha256_hex, structural_digest, Netlist};
+use ipcl_tracetool::json::Json;
+
+use crate::protocol::{JobOutcome, Verdict};
+
+/// Computes the cache key of `(netlist, property)`.
+///
+/// The netlist digest pins the property's variables as the interface, so
+/// the digest covers exactly the logic cone the property can observe; the
+/// property's own identity (name, `ok` text, latency sampling) is folded
+/// in afterwards. The key is a hex SHA-256 string, usable as a filename.
+pub fn cache_key(
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+) -> String {
+    let pool = spec.pool();
+    let interface: Vec<String> = property
+        .ok
+        .vars()
+        .into_iter()
+        .map(|v| pool.name_or_fallback(v))
+        .collect();
+    let digest = structural_digest(netlist, &interface);
+    let mut preimage = String::from("ipcl-serve-cache-v1\n");
+    preimage.push_str(&digest);
+    preimage.push('\n');
+    preimage.push_str(&property.name);
+    preimage.push('\n');
+    preimage.push_str(property.kind.name());
+    preimage.push('\n');
+    preimage.push_str(&property.ok.display(pool).to_string());
+    preimage.push('\n');
+    preimage.push_str(&format!("latency_offset={}", property.latency.offset()));
+    sha256_hex(preimage.as_bytes())
+}
+
+/// Re-checks a stored outcome against the *submitted* problem. Only
+/// definitive verdicts are servable from cache; inconclusive entries are
+/// never stored in the first place.
+pub fn revalidate(
+    outcome: &JobOutcome,
+    spec: &FunctionalSpec,
+    netlist: &Netlist,
+    property: &SequentialProperty,
+) -> bool {
+    match outcome.verdict {
+        Verdict::Proved => match &outcome.certificate {
+            Some(certificate) => certificate
+                .validate(spec, netlist, property)
+                .map(|check| check.ok())
+                .unwrap_or(false),
+            // A proof with no certificate (k-induction) cannot be
+            // independently re-established here, so it is not servable.
+            None => false,
+        },
+        Verdict::Falsified => match &outcome.counterexample {
+            Some(counterexample) => counterexample
+                .replay(spec, netlist, property)
+                .map(|replay| replay.violation_reproduced)
+                .unwrap_or(false),
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Running totals of the cache (all monotonic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache (after revalidation).
+    pub hits: u64,
+    /// Lookups that ran the proof engine.
+    pub misses: u64,
+    /// Entries found but rejected by revalidation (counted as misses too).
+    pub revalidation_failures: u64,
+}
+
+/// The shared proof cache. See the module docs.
+pub struct ProofCache {
+    dir: Option<PathBuf>,
+    entries: Mutex<HashMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    revalidation_failures: AtomicU64,
+}
+
+impl ProofCache {
+    /// An in-memory cache, optionally persisted under `dir` (created if
+    /// missing; creation failure silently degrades to memory-only).
+    pub fn new(dir: Option<PathBuf>) -> ProofCache {
+        let dir = dir.filter(|d| fs::create_dir_all(d).is_ok());
+        ProofCache {
+            dir,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            revalidation_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The raw stored entry for `key`, if any (memory first, then disk).
+    /// This is *not* yet a hit: the caller must revalidate.
+    pub fn load(&self, key: &str) -> Option<JobOutcome> {
+        let text = {
+            let entries = self.entries.lock().expect("cache lock");
+            entries.get(key).cloned()
+        }
+        .or_else(|| {
+            let path = self.dir.as_ref()?.join(format!("{key}.json"));
+            let text = fs::read_to_string(path).ok()?;
+            self.entries
+                .lock()
+                .expect("cache lock")
+                .insert(key.to_owned(), text.clone());
+            Some(text)
+        })?;
+        let json = Json::parse(&text).ok()?;
+        JobOutcome::from_json(&json).ok()
+    }
+
+    /// Stores `outcome` under `key` (memory and, when configured, disk).
+    /// Only definitive verdicts are worth storing; others are ignored.
+    pub fn store(&self, key: &str, outcome: &JobOutcome) {
+        if !matches!(outcome.verdict, Verdict::Proved | Verdict::Falsified) {
+            return;
+        }
+        // Stored entries never carry the served-from-cache flag.
+        let mut canonical = outcome.clone();
+        canonical.cached = false;
+        let text = canonical.to_json_string();
+        if let Some(dir) = &self.dir {
+            // Write-then-rename so readers never see a torn entry.
+            let final_path = dir.join(format!("{key}.json"));
+            let tmp_path = dir.join(format!("{key}.tmp"));
+            if fs::write(&tmp_path, &text).is_ok() {
+                let _ = fs::rename(&tmp_path, &final_path);
+            }
+        }
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_owned(), text);
+    }
+
+    /// Records a served hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss (no entry, or entry rejected).
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an entry rejected by revalidation.
+    pub fn record_revalidation_failure(&self) {
+        self.revalidation_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            revalidation_failures: self.revalidation_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcl_bmc::{Latency, PropertyKind};
+    use ipcl_core::example::ExampleArch;
+    use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
+
+    fn problem() -> (FunctionalSpec, Netlist, SequentialProperty) {
+        let spec = ExampleArch::new().functional_spec();
+        let synthesized = synthesize_interlock_with(
+            &spec,
+            SynthesisOptions {
+                registered_outputs: true,
+                reset_value: true,
+                ..Default::default()
+            },
+        );
+        let property =
+            SequentialProperty::for_stage(&spec, 0, PropertyKind::Functional, Latency::Registered);
+        (spec, synthesized.netlist().clone(), property)
+    }
+
+    #[test]
+    fn key_is_stable_and_property_sensitive() {
+        let (spec, netlist, property) = problem();
+        let key = cache_key(&spec, &netlist, &property);
+        assert_eq!(key, cache_key(&spec, &netlist, &property));
+        assert_eq!(key.len(), 64);
+        let other =
+            SequentialProperty::for_stage(&spec, 0, PropertyKind::Performance, Latency::Registered);
+        assert_ne!(key, cache_key(&spec, &netlist, &other));
+        let other_latency = SequentialProperty::for_stage(
+            &spec,
+            0,
+            PropertyKind::Functional,
+            Latency::Combinational,
+        );
+        assert_ne!(key, cache_key(&spec, &netlist, &other_latency));
+    }
+
+    #[test]
+    fn only_definitive_outcomes_are_stored() {
+        let cache = ProofCache::new(None);
+        let unknown = JobOutcome {
+            property: "p".to_owned(),
+            verdict: Verdict::Unknown,
+            detail: String::new(),
+            cached: false,
+            certificate: None,
+            counterexample: None,
+        };
+        cache.store("k", &unknown);
+        assert!(cache.load("k").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn disk_entries_survive_a_fresh_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("ipcl-serve-cache-test-{}", std::process::id()));
+        let cache = ProofCache::new(Some(dir.clone()));
+        let outcome = JobOutcome {
+            property: "p".to_owned(),
+            verdict: Verdict::Falsified,
+            detail: "trace_frames=1".to_owned(),
+            cached: true, // must be stripped in storage
+            certificate: None,
+            counterexample: Some(ipcl_bmc::Counterexample {
+                property: "p".to_owned(),
+                violation_frame: 0,
+                frames: vec![std::collections::BTreeMap::new()],
+            }),
+        };
+        cache.store("deadbeef", &outcome);
+        let reopened = ProofCache::new(Some(dir.clone()));
+        let loaded = reopened.load("deadbeef").expect("persisted entry");
+        assert_eq!(loaded.verdict, Verdict::Falsified);
+        assert!(!loaded.cached);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

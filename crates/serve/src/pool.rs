@@ -1,0 +1,269 @@
+//! The bounded worker pool: claims jobs, consults the proof cache, runs the
+//! proof engines, and reports server heartbeats.
+//!
+//! Each worker loops on [`JobQueue::claim`]. A claimed job is first looked
+//! up in the [`ProofCache`]; an entry that survives revalidation (see the
+//! cache docs) is served directly — the hit path never touches a proof
+//! engine. On a miss the worker runs
+//! [`ipcl_checker::check_property_job`] with the job's cancellation token,
+//! so client `cancel` requests and server shutdown interrupt the solve at
+//! the next SAT-query boundary, then stores any definitive verdict back
+//! into the cache.
+//!
+//! Observability: workers emit rate-limited `heartbeat` events with
+//! `engine: "serve"` (queue depth, running/done counts, cache hit/miss
+//! totals — rendered by `ipcl-tracetool watch` as a server progress line),
+//! per-job `serve.job_*` events, and the `serve.cache.*` counters /
+//! `serve.queue_depth` gauge through the unified metric sink.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ipcl_checker::check_property_job;
+use ipcl_trace::{set_worker, Heartbeat, MetricSink, Tracer, Value};
+
+use crate::cache::{cache_key, revalidate, ProofCache};
+use crate::protocol::{JobOutcome, JobRequest};
+use crate::queue::JobQueue;
+
+/// A pool of `n` solver workers draining `queue`.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn spawn(
+        workers: usize,
+        queue: Arc<JobQueue>,
+        cache: Arc<ProofCache>,
+        tracer: Tracer,
+    ) -> WorkerPool {
+        let handles = (0..workers.max(1))
+            .map(|worker| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let tracer = tracer.clone();
+                std::thread::Builder::new()
+                    .name(format!("ipcl-serve-worker-{worker}"))
+                    .spawn(move || {
+                        set_worker(Some(worker as u64));
+                        let mut heartbeat = Heartbeat::every_ms(200);
+                        while let Some((id, request, cancel)) = queue.claim() {
+                            beat(&tracer, &mut heartbeat, &queue, &cache);
+                            let outcome = process_job(&request, &cancel, &cache, &tracer);
+                            tracer.event(
+                                "serve.job_done",
+                                &[
+                                    ("id", Value::U64(id)),
+                                    ("verdict", Value::from(outcome.verdict.name())),
+                                    ("cached", Value::Bool(outcome.cached)),
+                                ],
+                            );
+                            queue.finish(id, outcome);
+                            beat(&tracer, &mut heartbeat, &queue, &cache);
+                        }
+                        set_worker(None);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Joins every worker (they drain once the queue shuts down).
+    pub fn join(self) {
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn beat(tracer: &Tracer, heartbeat: &mut Heartbeat, queue: &JobQueue, cache: &ProofCache) {
+    let stats = queue.stats();
+    tracer.gauge("serve.queue_depth", stats.queued as f64);
+    if !heartbeat.due(tracer) {
+        return;
+    }
+    let cache_stats = cache.stats();
+    tracer.event(
+        "heartbeat",
+        &[
+            ("engine", Value::from("serve")),
+            ("queued", Value::U64(stats.queued)),
+            ("running", Value::U64(stats.running)),
+            ("done", Value::U64(stats.done)),
+            ("hits", Value::U64(cache_stats.hits)),
+            ("misses", Value::U64(cache_stats.misses)),
+        ],
+    );
+}
+
+/// Decides one job: cache hit (revalidated) or a fresh engine run. Public
+/// so the batch pre-solver and in-process tests share the exact code path
+/// the workers use.
+pub fn process_job(
+    request: &JobRequest,
+    cancel: &AtomicBool,
+    cache: &ProofCache,
+    tracer: &Tracer,
+) -> JobOutcome {
+    let property = match request.resolve_property() {
+        Ok(property) => property,
+        Err(message) => return JobOutcome::error("", message),
+    };
+    let key = cache_key(&request.spec, &request.netlist, &property);
+
+    if let Some(stored) = cache.load(&key) {
+        if stored.property == property.name
+            && revalidate(&stored, &request.spec, &request.netlist, &property)
+        {
+            cache.record_hit();
+            tracer.counter("serve.cache.hits", 1);
+            tracer.event(
+                "serve.cache_hit",
+                &[("verdict", Value::from(stored.verdict.name()))],
+            );
+            let mut served = stored;
+            served.cached = true;
+            return served;
+        }
+        cache.record_revalidation_failure();
+        tracer.counter("serve.cache.revalidation_failures", 1);
+        tracer.event("serve.cache_revalidation_failed", &[]);
+    }
+    cache.record_miss();
+    tracer.counter("serve.cache.misses", 1);
+
+    let options = request.options();
+    let outcome = match check_property_job(
+        &request.spec,
+        &request.netlist,
+        &property,
+        &options,
+        Some(cancel),
+        tracer,
+    ) {
+        Ok((result, certificate)) => JobOutcome::from_result(
+            &result,
+            certificate,
+            cancel.load(std::sync::atomic::Ordering::Relaxed),
+        ),
+        Err(error) => JobOutcome::error(&property.name, error.to_string()),
+    };
+    cache.store(&key, &outcome);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{PropertyRequest, Verdict};
+    use ipcl_bmc::PropertyKind;
+    use ipcl_checker::ProofStrategy;
+    use ipcl_core::example::ExampleArch;
+    use ipcl_pipesim::BrokenVariant;
+    use ipcl_synth::{synthesize_broken_interlock, synthesize_interlock_with, SynthesisOptions};
+
+    fn correct_job(stage_index: usize) -> JobRequest {
+        let spec = ExampleArch::new().functional_spec();
+        let synthesized = synthesize_interlock_with(
+            &spec,
+            SynthesisOptions {
+                registered_outputs: true,
+                reset_value: true,
+                ..Default::default()
+            },
+        );
+        JobRequest {
+            spec,
+            netlist: synthesized.netlist().clone(),
+            property: PropertyRequest {
+                stage_index,
+                kind: PropertyKind::Functional,
+                latency: None,
+            },
+            strategy: ProofStrategy::Pdr,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_with_identical_payload() {
+        let cache = ProofCache::new(None);
+        let tracer = Tracer::disabled();
+        let cancel = AtomicBool::new(false);
+        let job = correct_job(0);
+        let cold = process_job(&job, &cancel, &cache, &tracer);
+        assert_eq!(cold.verdict, Verdict::Proved);
+        assert!(!cold.cached);
+        let warm = process_job(&job, &cancel, &cache, &tracer);
+        assert_eq!(warm.verdict, Verdict::Proved);
+        assert!(warm.cached, "second submission must hit the cache");
+        // Bit-identical payloads modulo the cached flag.
+        let mut warm_as_cold = warm.clone();
+        warm_as_cold.cached = false;
+        assert_eq!(warm_as_cold.to_json_string(), cold.to_json_string());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn falsified_jobs_cache_and_replay() {
+        let spec = ExampleArch::new().functional_spec();
+        let broken = synthesize_broken_interlock(&spec, BrokenVariant::IgnoreScoreboard);
+        // Find a stage the break falsifies.
+        let cache = ProofCache::new(None);
+        let tracer = Tracer::disabled();
+        let cancel = AtomicBool::new(false);
+        let mut hit_checked = false;
+        for stage_index in 0..spec.stages().len() {
+            let job = JobRequest {
+                spec: spec.clone(),
+                netlist: broken.netlist().clone(),
+                property: PropertyRequest {
+                    stage_index,
+                    kind: PropertyKind::Functional,
+                    latency: None,
+                },
+                strategy: ProofStrategy::Pdr,
+                threads: 1,
+            };
+            let cold = process_job(&job, &cancel, &cache, &tracer);
+            if cold.verdict != Verdict::Falsified {
+                continue;
+            }
+            let warm = process_job(&job, &cancel, &cache, &tracer);
+            assert_eq!(warm.verdict, Verdict::Falsified);
+            assert!(warm.cached);
+            assert_eq!(
+                warm.counterexample.as_ref().unwrap().to_json_string(),
+                cold.counterexample.as_ref().unwrap().to_json_string()
+            );
+            hit_checked = true;
+            break;
+        }
+        assert!(hit_checked, "the broken variant must falsify some stage");
+    }
+
+    #[test]
+    fn pool_drains_queue_and_joins_at_shutdown() {
+        let queue = Arc::new(JobQueue::new());
+        let cache = Arc::new(ProofCache::new(None));
+        let pool = WorkerPool::spawn(
+            2,
+            Arc::clone(&queue),
+            Arc::clone(&cache),
+            Tracer::disabled(),
+        );
+        let ids: Vec<u64> = (0..3)
+            .map(|i| queue.submit(Arc::new(correct_job(i))))
+            .collect();
+        for id in ids {
+            assert_eq!(queue.wait(id).unwrap().verdict, Verdict::Proved);
+        }
+        queue.shutdown();
+        pool.join();
+    }
+}

@@ -1,0 +1,355 @@
+//! The TCP server: accept loop, per-connection protocol handling, and
+//! graceful shutdown.
+//!
+//! Transport is plain `std::net` — one line of JSON per request, one line
+//! per response, handled by a thread per connection (the worker pool, not
+//! the connection count, bounds solver concurrency). Connection reads use
+//! a short timeout so handlers notice server shutdown promptly; the accept
+//! loop is unblocked at shutdown by a loopback self-connection.
+//!
+//! Request vocabulary (`{"cmd": ...}`):
+//!
+//! * `submit` — enqueue one job, answer `{"ok": true, "id": N}`;
+//! * `submit_batch` — pre-solve shared-cone jobs on this connection
+//!   ([`crate::batch`]), enqueue the rest, answer ids plus the pre-solved
+//!   count;
+//! * `status` — job state and, when done, the result;
+//! * `wait` — block until the job finishes, answer the result;
+//! * `cancel` — flag a job's cancellation token;
+//! * `stats` — queue and cache counters;
+//! * `shutdown` — acknowledge, then begin graceful shutdown: cancel
+//!   in-flight jobs cooperatively, drain and join workers, join
+//!   connections, release the listener.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ipcl_trace::{Tracer, Value};
+use ipcl_tracetool::json::{write_json_string, Json};
+
+use crate::batch::presolve_batch;
+use crate::cache::ProofCache;
+use crate::pool::WorkerPool;
+use crate::protocol::JobRequest;
+use crate::queue::{JobQueue, JobState};
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:7171"` (`:0` picks a free port).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Proof-cache persistence directory (`None`: memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Frame bound of the shared batch falsification sweep.
+    pub batch_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            cache_dir: None,
+            batch_depth: 5,
+        }
+    }
+}
+
+/// A running verification server. Dropping without calling
+/// [`Server::shutdown`] leaks the background threads; the binary and tests
+/// always shut down explicitly.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    cache: Arc<ProofCache>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+    pool: WorkerPool,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tracer: Tracer,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig, tracer: Tracer) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(JobQueue::new());
+        let cache = Arc::new(ProofCache::new(config.cache_dir.clone()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let pool = WorkerPool::spawn(
+            config.workers,
+            Arc::clone(&queue),
+            Arc::clone(&cache),
+            tracer.clone(),
+        );
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            let tracer = tracer.clone();
+            let batch_depth = config.batch_depth;
+            std::thread::Builder::new()
+                .name("ipcl-serve-accept".to_owned())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let queue = Arc::clone(&queue);
+                        let cache = Arc::clone(&cache);
+                        let shutdown = Arc::clone(&shutdown);
+                        let tracer = tracer.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("ipcl-serve-conn".to_owned())
+                            .spawn(move || {
+                                handle_connection(
+                                    stream,
+                                    &queue,
+                                    &cache,
+                                    &shutdown,
+                                    batch_depth,
+                                    &tracer,
+                                );
+                            })
+                            .expect("spawn connection thread");
+                        connections.lock().expect("connections lock").push(handle);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        tracer.event(
+            "serve.listening",
+            &[("workers", Value::U64(config.workers as u64))],
+        );
+        Ok(Server {
+            addr,
+            queue,
+            cache,
+            shutdown,
+            accept_handle,
+            pool,
+            connections,
+            tracer,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared job queue (for in-process submission in tests and the
+    /// load generator).
+    pub fn queue(&self) -> &Arc<JobQueue> {
+        &self.queue
+    }
+
+    /// The shared proof cache.
+    pub fn cache(&self) -> &Arc<ProofCache> {
+        &self.cache
+    }
+
+    /// Whether a client asked the server to shut down (the binary's serve
+    /// loop polls this).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: cancels in-flight jobs (cooperatively, at the
+    /// next SAT-query boundary), drains and joins the workers, joins every
+    /// connection handler, and releases the listener.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue.shutdown();
+        // Unblock the accept loop with a loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_handle.join();
+        self.pool.join();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.connections.lock().expect("connections lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.tracer.event("serve.stopped", &[]);
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    queue: &JobQueue,
+    cache: &ProofCache,
+    shutdown: &AtomicBool,
+    batch_depth: usize,
+    tracer: &Tracer,
+) {
+    // Short read timeouts keep the handler responsive to shutdown; no
+    // Nagle — responses are single lines that must leave immediately.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = respond(line.trim(), queue, cache, shutdown, batch_depth, tracer);
+        response.push('\n');
+        if writer.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if shutdown.load(Ordering::Relaxed) {
+            // The shutdown acknowledgement has been sent; stop serving.
+            return;
+        }
+    }
+}
+
+fn error_response(message: &str) -> String {
+    let mut out = String::from("{\"ok\": false, \"error\": ");
+    write_json_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+fn respond(
+    line: &str,
+    queue: &JobQueue,
+    cache: &ProofCache,
+    shutdown: &AtomicBool,
+    batch_depth: usize,
+    tracer: &Tracer,
+) -> String {
+    let request = match Json::parse(line) {
+        Ok(request) => request,
+        Err(e) => return error_response(&format!("bad request: {e}")),
+    };
+    match request.get("cmd").and_then(Json::as_str) {
+        Some("submit") => {
+            let Some(job) = request.get("job") else {
+                return error_response("submit misses 'job'");
+            };
+            match JobRequest::from_json(job) {
+                Ok(job) => {
+                    let id = queue.submit(Arc::new(job));
+                    tracer.event("serve.job_submitted", &[("id", Value::U64(id))]);
+                    format!("{{\"ok\": true, \"id\": {id}}}")
+                }
+                Err(message) => error_response(&message),
+            }
+        }
+        Some("submit_batch") => {
+            let Some(jobs) = request.get("jobs").and_then(Json::as_array) else {
+                return error_response("submit_batch misses 'jobs'");
+            };
+            let mut parsed = Vec::with_capacity(jobs.len());
+            for (i, job) in jobs.iter().enumerate() {
+                match JobRequest::from_json(job) {
+                    Ok(job) => parsed.push(Arc::new(job)),
+                    Err(message) => return error_response(&format!("job {i}: {message}")),
+                }
+            }
+            let resolution = presolve_batch(&parsed, batch_depth, cache, tracer);
+            let presolved = resolution.resolved.len();
+            let mut ids = vec![0u64; parsed.len()];
+            for (index, outcome) in resolution.resolved {
+                ids[index] = queue.submit_resolved(Arc::clone(&parsed[index]), outcome);
+            }
+            for index in resolution.unresolved {
+                ids[index] = queue.submit(Arc::clone(&parsed[index]));
+            }
+            let rendered: Vec<String> = ids.iter().map(u64::to_string).collect();
+            format!(
+                "{{\"ok\": true, \"ids\": [{}], \"presolved\": {presolved}}}",
+                rendered.join(", ")
+            )
+        }
+        Some("status") => match request.get("id").and_then(Json::as_u64) {
+            Some(id) => match queue.status(id) {
+                Some((state, outcome)) => {
+                    let mut out = format!("{{\"ok\": true, \"state\": \"{}\"", state.name());
+                    if let (JobState::Done, Some(outcome)) = (state, outcome) {
+                        out.push_str(", \"result\": ");
+                        out.push_str(&outcome.to_json_string());
+                    }
+                    out.push('}');
+                    out
+                }
+                None => error_response("unknown job id"),
+            },
+            None => error_response("status misses 'id'"),
+        },
+        Some("wait") => match request.get("id").and_then(Json::as_u64) {
+            Some(id) => match queue.wait(id) {
+                Some(outcome) => {
+                    format!("{{\"ok\": true, \"result\": {}}}", outcome.to_json_string())
+                }
+                None => error_response("unknown job id (or server shut down mid-job)"),
+            },
+            None => error_response("wait misses 'id'"),
+        },
+        Some("cancel") => match request.get("id").and_then(Json::as_u64) {
+            Some(id) => format!("{{\"ok\": true, \"canceled\": {}}}", queue.cancel(id)),
+            None => error_response("cancel misses 'id'"),
+        },
+        Some("stats") => {
+            let queue_stats = queue.stats();
+            let cache_stats = cache.stats();
+            format!(
+                "{{\"ok\": true, \"queued\": {}, \"running\": {}, \"done\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"revalidation_failures\": {}, \
+                 \"cache_entries\": {}}}",
+                queue_stats.queued,
+                queue_stats.running,
+                queue_stats.done,
+                cache_stats.hits,
+                cache_stats.misses,
+                cache_stats.revalidation_failures,
+                cache.len()
+            )
+        }
+        Some("shutdown") => {
+            shutdown.store(true, Ordering::Relaxed);
+            queue.shutdown();
+            "{\"ok\": true, \"stopping\": true}".to_owned()
+        }
+        Some(other) => error_response(&format!("unknown cmd '{other}'")),
+        None => error_response("request misses 'cmd'"),
+    }
+}

@@ -1,0 +1,244 @@
+//! Cache-key soundness: the structural digest must be blind to naming and
+//! construction order (or structurally identical designs would miss) and
+//! sharp to semantic mutations (or different designs would collide into
+//! one cache entry — caught by re-validation, but every collision costs a
+//! wasted solve).
+
+use std::sync::atomic::AtomicBool;
+
+use ipcl_bmc::PropertyKind;
+use ipcl_checker::ProofStrategy;
+use ipcl_core::example::ExampleArch;
+use ipcl_pipesim::BrokenVariant;
+use ipcl_rtl::{structural_digest, Netlist};
+use ipcl_serve::{cache_key, process_job, JobRequest, ProofCache, PropertyRequest};
+use ipcl_synth::{synthesize_broken_interlock, synthesize_interlock};
+use ipcl_trace::Tracer;
+use proptest::prelude::*;
+
+/// One randomly drawn combinational gate: an op selector plus raw operand
+/// picks, resolved modulo the number of already-built nodes.
+type GateDraw = (u8, u64, u64, u64);
+
+/// A generated design: `inputs` primary inputs feeding `gates`, a register
+/// folding the last gate back in, and an `out` wire that ORs both.
+struct Design {
+    inputs: usize,
+    gates: Vec<GateDraw>,
+    register_init: bool,
+}
+
+impl Design {
+    /// The dependency set of gate `j` in *logical node indices* (inputs
+    /// occupy indices `0..inputs`, gate `j` is node `inputs + j`).
+    fn gate_deps(&self, j: usize) -> Vec<usize> {
+        let nodes_before = self.inputs + j;
+        let (op, a, b, c) = self.gates[j];
+        let pick = |raw: u64| (raw % nodes_before as u64) as usize;
+        match op % 6 {
+            0 | 1 => vec![pick(a)],               // buf / not
+            2 | 3 => vec![pick(a), pick(b)],      // and / or
+            4 => vec![pick(a), pick(b)],          // xor
+            _ => vec![pick(a), pick(b), pick(c)], // mux
+        }
+    }
+
+    /// Builds the netlist with gates constructed in `order` (a permutation
+    /// of `0..gates.len()` that must respect dependencies) and internal
+    /// signals named through `internal_name`. Interface names (`in*`,
+    /// `out`) are fixed — the digest pins the cone on them.
+    fn build(&self, order: &[usize], internal_name: &dyn Fn(usize) -> String) -> Netlist {
+        let mut netlist = Netlist::new("generated");
+        let mut nodes = vec![None; self.inputs + self.gates.len()];
+        for (i, node) in nodes.iter_mut().enumerate().take(self.inputs) {
+            *node = Some(netlist.input(&format!("in{i}")));
+        }
+        for &j in order {
+            let deps: Vec<_> = self
+                .gate_deps(j)
+                .iter()
+                .map(|&d| nodes[d].expect("order respects dependencies"))
+                .collect();
+            let name = internal_name(j);
+            let (op, ..) = self.gates[j];
+            let id = match op % 6 {
+                0 => netlist.buf_gate(&name, deps[0]),
+                1 => netlist.not_gate(&name, deps[0]),
+                2 => netlist.and_gate(&name, deps.iter().copied()),
+                3 => netlist.or_gate(&name, deps.iter().copied()),
+                4 => netlist.xor_gate(&name, deps[0], deps[1]),
+                _ => netlist.mux_gate(&name, deps[0], deps[1], deps[2]),
+            };
+            nodes[self.inputs + j] = Some(id);
+        }
+        let last = nodes[self.inputs + self.gates.len() - 1].expect("all gates built");
+        let register = netlist.register(&internal_name(usize::MAX), self.register_init);
+        netlist
+            .connect_register(register, last)
+            .expect("combinational next");
+        let out = netlist.or_gate("out", [register, last]);
+        netlist.mark_output(out);
+        netlist
+    }
+
+    fn interface(&self) -> Vec<String> {
+        let mut names: Vec<String> = (0..self.inputs).map(|i| format!("in{i}")).collect();
+        names.push("out".to_owned());
+        names
+    }
+
+    /// A dependency-respecting permutation different from `0..n` where the
+    /// draw allows: adjacent independent gates are swapped per `swaps` bit.
+    fn reorder(&self, swaps: &[bool]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.gates.len()).collect();
+        for i in 0..order.len().saturating_sub(1) {
+            if !swaps.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let earlier_node = self.inputs + order[i];
+            if !self.gate_deps(order[i + 1]).contains(&earlier_node) {
+                order.swap(i, i + 1);
+            }
+        }
+        order
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Renaming every internal signal and re-building the gates in a
+    /// different (dependency-respecting) order must not move the digest.
+    #[test]
+    fn digest_is_invariant_under_renaming_and_reordering(
+        inputs in 2usize..=4,
+        gates in collection::vec((0u8..6, any::<u64>(), any::<u64>(), any::<u64>()), 3..=10),
+        register_init in any::<bool>(),
+        swaps in collection::vec(any::<bool>(), 9),
+    ) {
+        let design = Design { inputs, gates, register_init };
+        let canonical = design.build(
+            &(0..design.gates.len()).collect::<Vec<_>>(),
+            &|j| format!("g{j}"),
+        );
+        let disguised = design.build(
+            &design.reorder(&swaps),
+            &|j| format!("obfuscated_{j}_signal"),
+        );
+        let interface = design.interface();
+        // Same structure, different names/order: digests must agree.
+        prop_assert_eq!(
+            structural_digest(&canonical, &interface),
+            structural_digest(&disguised, &interface)
+        );
+    }
+
+    /// Flipping the register's reset value is a one-bit semantic mutation
+    /// inside the cone; the digest must move.
+    #[test]
+    fn digest_is_sensitive_to_reset_mutation(
+        inputs in 2usize..=4,
+        gates in collection::vec((0u8..6, any::<u64>(), any::<u64>(), any::<u64>()), 3..=10),
+        register_init in any::<bool>(),
+    ) {
+        let design = Design { inputs, gates, register_init };
+        let interface = design.interface();
+        let order: Vec<usize> = (0..design.gates.len()).collect();
+        let original = design.build(&order, &|j| format!("g{j}"));
+        let mutated = Design { register_init: !design.register_init, ..design }
+            .build(&order, &|j| format!("g{j}"));
+        prop_assert!(
+            structural_digest(&original, &interface)
+                != structural_digest(&mutated, &interface),
+            "flipped reset value must change the digest"
+        );
+    }
+}
+
+fn job_for(netlist: &Netlist) -> JobRequest {
+    JobRequest {
+        spec: ExampleArch::new().functional_spec(),
+        netlist: netlist.clone(),
+        property: PropertyRequest {
+            stage_index: 0,
+            kind: PropertyKind::Functional,
+            latency: None,
+        },
+        strategy: ProofStrategy::Pdr,
+        threads: 1,
+    }
+}
+
+/// The cache key is pinned on the property's cone of influence, so a
+/// mutation *outside* a property's cone may legitimately share that
+/// property's key with the correct design. The soundness requirement is
+/// directional: whenever two designs share a key for a property, their
+/// verdicts for that property must be interchangeable — and wherever an
+/// injected bug actually flips a verdict, the key must move.
+#[test]
+fn broken_variants_only_share_keys_where_verdicts_agree() {
+    let spec = ExampleArch::new().functional_spec();
+    let correct = synthesize_interlock(&spec).netlist().clone();
+    let tracer = Tracer::disabled();
+    let cancel = AtomicBool::new(false);
+    let verdict_of = |netlist: &Netlist, stage_index: usize| {
+        let mut job = job_for(netlist);
+        job.property.stage_index = stage_index;
+        let cache = ProofCache::new(None);
+        let outcome = process_job(&job, &cancel, &cache, &tracer);
+        let property = job.resolve_property().expect("stage resolves");
+        (
+            cache_key(&job.spec, &job.netlist, &property),
+            outcome.verdict,
+        )
+    };
+    let mut keys_split_somewhere = false;
+    for variant in [
+        BrokenVariant::IgnoreScoreboard,
+        BrokenVariant::IgnoreCompletionGrant,
+        BrokenVariant::BadResetValues { cycles: 2 },
+    ] {
+        let broken = synthesize_broken_interlock(&spec, variant)
+            .netlist()
+            .clone();
+        for stage_index in 0..spec.stages().len() {
+            let (correct_key, correct_verdict) = verdict_of(&correct, stage_index);
+            let (broken_key, broken_verdict) = verdict_of(&broken, stage_index);
+            if correct_key == broken_key {
+                assert_eq!(
+                    correct_verdict, broken_verdict,
+                    "{variant:?} stage {stage_index}: shared key with diverging verdicts \
+                     — the digest missed semantic logic inside the cone"
+                );
+            } else {
+                keys_split_somewhere = true;
+            }
+            if correct_verdict != broken_verdict {
+                assert_ne!(
+                    correct_key, broken_key,
+                    "{variant:?} stage {stage_index}: verdict flipped but key did not move"
+                );
+            }
+        }
+    }
+    assert!(
+        keys_split_somewhere,
+        "no injected variant moved any cache key — the digest is blind to the mutations"
+    );
+}
+
+/// The same structure submitted under a different module name and with the
+/// same gates must share one key — that is the whole point of a structural
+/// (rather than textual) cache.
+#[test]
+fn identical_structure_shares_one_cache_key() {
+    let spec = ExampleArch::new().functional_spec();
+    let netlist = synthesize_interlock(&spec).netlist().clone();
+    let job_a = job_for(&netlist);
+    let job_b = job_for(&netlist);
+    let property = job_a.resolve_property().expect("stage 0 resolves");
+    assert_eq!(
+        cache_key(&job_a.spec, &job_a.netlist, &property),
+        cache_key(&job_b.spec, &job_b.netlist, &property),
+    );
+}

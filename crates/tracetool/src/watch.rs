@@ -93,6 +93,24 @@ pub fn progress_line(events: &[Event]) -> Option<String> {
                     }
                 }
             }
+            "serve" => {
+                // Worker-pool beats: queue shape plus the cache hit-rate.
+                if let (Some(queued), Some(running), Some(done)) = (
+                    field_text(event, "queued"),
+                    field_text(event, "running"),
+                    field_text(event, "done"),
+                ) {
+                    let _ = write!(out, " jobs {queued}q/{running}r/{done}d");
+                }
+                let hits = field_text(event, "hits").and_then(|v| v.parse::<u64>().ok());
+                let misses = field_text(event, "misses").and_then(|v| v.parse::<u64>().ok());
+                if let (Some(hits), Some(misses)) = (hits, misses) {
+                    if hits + misses > 0 {
+                        let rate = 100.0 * hits as f64 / (hits + misses) as f64;
+                        let _ = write!(out, " hit-rate={rate:.0}%");
+                    }
+                }
+            }
             _ => {
                 if let Some(v) = field_text(event, "property") {
                     let _ = write!(out, " {v}");
@@ -211,6 +229,26 @@ mod tests {
         );
         assert!(!line.contains("depth=3"), "stale beat dropped: {line}");
         assert!(line.contains("sat conflicts=+812 restarts=+3"), "{line}");
+    }
+
+    #[test]
+    fn progress_line_renders_server_queue_and_hit_rate() {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        tracer.event(
+            "heartbeat",
+            &[
+                ("engine", Value::from("serve")),
+                ("queued", Value::U64(12)),
+                ("running", Value::U64(2)),
+                ("done", Value::U64(30)),
+                ("hits", Value::U64(9)),
+                ("misses", Value::U64(3)),
+            ],
+        );
+        let snapshot = tracer.snapshot().unwrap();
+        let line = progress_line(&snapshot.events).expect("heartbeats present");
+        assert!(line.contains("serve jobs 12q/2r/30d"), "{line}");
+        assert!(line.contains("hit-rate=75%"), "{line}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`pdr`] | `ipcl-pdr` | IC3/PDR with certified invariants and the BMC/PDR portfolio |
 //! | [`trace`] | `ipcl-trace` | structured tracing, metrics, and profiling of the solve stack |
 //! | [`tracetool`] | `ipcl-tracetool` | trace export (Perfetto/flamegraph), profile diffing, perf-regression gate |
+//! | [`serve`] | `ipcl-serve` | verification-as-a-service: job-queue server with a revalidating structural-hash proof cache |
 //!
 //! # Quick start
 //!
@@ -53,6 +54,7 @@ pub use ipcl_pdr as pdr;
 pub use ipcl_pipesim as pipesim;
 pub use ipcl_rtl as rtl;
 pub use ipcl_sat as sat;
+pub use ipcl_serve as serve;
 pub use ipcl_synth as synth;
 pub use ipcl_trace as trace;
 pub use ipcl_tracetool as tracetool;
