@@ -1,0 +1,88 @@
+//! Criterion benchmark: compiled bit-parallel simulation vs the
+//! interpreter.
+//!
+//! Two angles on the `ipcl-bitsim` engine: `step` measures steady-state
+//! stepping cost per design (the interpreter advances one scenario per
+//! step, the compiled engine 64 — the wall-clock gap is the whole point),
+//! and `compile` measures the one-off netlist-to-program compilation so a
+//! regression in the levelizer shows up separately from the run loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcl_bitsim::BitSimulator;
+use ipcl_core::example::ExampleArch;
+use ipcl_pdr::deep::deep_pipeline;
+use ipcl_rtl::{Netlist, Simulator};
+use ipcl_synth::{synthesize_interlock_with, SynthesisOptions};
+
+fn designs() -> Vec<(String, Netlist)> {
+    let spec = ExampleArch::new().functional_spec();
+    let interlock = synthesize_interlock_with(
+        &spec,
+        SynthesisOptions {
+            registered_outputs: true,
+            reset_value: true,
+            ..Default::default()
+        },
+    )
+    .netlist()
+    .clone();
+    vec![
+        ("interlock".to_owned(), interlock),
+        ("deep_chain_64".to_owned(), deep_pipeline(64).1),
+    ]
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitsim_step");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    const STEPS: u64 = 1_000;
+    for (label, netlist) in designs() {
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", &label),
+            &netlist,
+            |b, netlist| {
+                let mut sim = Simulator::new(netlist).expect("elaborates");
+                b.iter(|| {
+                    for _ in 0..STEPS {
+                        sim.step();
+                    }
+                    black_box(sim.cycle())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_64_lanes", &label),
+            &netlist,
+            |b, netlist| {
+                let mut sim = BitSimulator::new(netlist).expect("compiles");
+                b.iter(|| {
+                    for _ in 0..STEPS {
+                        sim.step();
+                    }
+                    black_box(sim.cycle())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitsim_compile");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, netlist) in designs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&label),
+            &netlist,
+            |b, netlist| b.iter(|| BitSimulator::new(black_box(netlist)).expect("compiles")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,277 @@
+//! Compilation of a [`Netlist`] into a levelized straight-line program.
+//!
+//! [`Program::compile`] walks the topological wire order produced by
+//! [`Netlist::elaborate`] and emits exactly one instruction per gate. An
+//! instruction operates on packed `u64` *words* — bit `i` of every word is
+//! lane `i`'s value of that signal — so a single pass over the instruction
+//! stream advances 64 independent scenarios at once. All the per-gate
+//! dispatch the interpreter pays at every evaluation (signal-kind matches,
+//! operand-vector walks, name lookups) is paid once here, at compile time;
+//! execution is a tight loop over flat arrays of pre-resolved slot indices.
+
+use ipcl_rtl::{Gate, Netlist, RtlError, SignalId, SignalKind};
+
+/// Number of independent scenarios one program execution advances: the
+/// lanes of a `u64` word.
+pub const LANES: usize = 64;
+
+/// A word with the same boolean value in every lane.
+#[inline]
+pub fn broadcast(value: bool) -> u64 {
+    if value {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// One compiled gate. Operand fields are value-array slots (signal
+/// indices); variadic gates reference a range of the program's operand
+/// pool. AND/OR gates with 0–2 operands are strength-reduced at compile
+/// time to constants, buffers or the two-operand forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Constant driver (pre-broadcast to all lanes).
+    Const(u64),
+    /// Buffer (identity).
+    Buf(u32),
+    /// Inverter.
+    Not(u32),
+    /// Two-input AND.
+    And2(u32, u32),
+    /// Two-input OR.
+    Or2(u32, u32),
+    /// N-ary AND over `operands[start..start + len]`.
+    AndN { start: u32, len: u32 },
+    /// N-ary OR over `operands[start..start + len]`.
+    OrN { start: u32, len: u32 },
+    /// Two-input XOR.
+    Xor(u32, u32),
+    /// Multiplexer: per lane, `sel ? high : low`.
+    Mux { sel: u32, high: u32, low: u32 },
+}
+
+/// One instruction: evaluate [`Instr::op`] and store the word into
+/// [`Instr::dst`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instr {
+    /// Destination value-array slot.
+    pub dst: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A register's compiled double-buffer wiring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegSlot {
+    /// Value-array slot of the register output.
+    pub slot: u32,
+    /// Value-array slot of the sampled next-state signal.
+    pub next: u32,
+    /// Reset value, broadcast to all lanes.
+    pub init: u64,
+}
+
+/// A compiled netlist: the levelized instruction stream plus the register
+/// and input tables the simulator needs for the two-phase step.
+#[derive(Clone, Debug)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    operands: Vec<u32>,
+    regs: Vec<RegSlot>,
+    inputs: Vec<u32>,
+    slots: usize,
+}
+
+impl Program {
+    /// Compiles `netlist` into straight-line levelized code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtlError`]s from [`Netlist::elaborate`] (unconnected
+    /// registers, combinational cycles).
+    pub fn compile(netlist: &Netlist) -> Result<Program, RtlError> {
+        let eval_order = netlist.elaborate()?;
+        let mut instrs = Vec::with_capacity(eval_order.len());
+        let mut operands = Vec::new();
+        for id in eval_order {
+            let SignalKind::Wire(gate) = &netlist.signal(id).kind else {
+                continue;
+            };
+            let dst = id.index() as u32;
+            let op = match gate {
+                Gate::Const(b) => Op::Const(broadcast(*b)),
+                Gate::Buf(a) => Op::Buf(a.index() as u32),
+                Gate::Not(a) => Op::Not(a.index() as u32),
+                Gate::And(ops) => variadic(ops, &mut operands, true),
+                Gate::Or(ops) => variadic(ops, &mut operands, false),
+                Gate::Xor(a, b) => Op::Xor(a.index() as u32, b.index() as u32),
+                Gate::Mux { sel, high, low } => Op::Mux {
+                    sel: sel.index() as u32,
+                    high: high.index() as u32,
+                    low: low.index() as u32,
+                },
+            };
+            instrs.push(Instr { dst, op });
+        }
+        let mut regs = Vec::new();
+        let mut inputs = Vec::new();
+        for (id, signal) in netlist.iter() {
+            match &signal.kind {
+                SignalKind::Register { init, next } => regs.push(RegSlot {
+                    slot: id.index() as u32,
+                    next: next.expect("elaborate checked connections").index() as u32,
+                    init: broadcast(*init),
+                }),
+                SignalKind::Input => inputs.push(id.index() as u32),
+                SignalKind::Wire(_) => {}
+            }
+        }
+        Ok(Program {
+            instrs,
+            operands,
+            regs,
+            inputs,
+            slots: netlist.len(),
+        })
+    }
+
+    /// Number of value-array slots (one per netlist signal).
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The compiled instruction stream, in evaluation order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The register table.
+    pub fn regs(&self) -> &[RegSlot] {
+        &self.regs
+    }
+
+    /// Value-array slots of the primary inputs.
+    pub fn inputs(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// Executes the instruction stream over `values` (the combinational
+    /// settle): after this call every wire slot holds its gate's function
+    /// of the current input and register words, in all 64 lanes at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than [`Program::slots`].
+    pub fn execute(&self, values: &mut [u64]) {
+        assert!(values.len() >= self.slots, "value array too short");
+        for instr in &self.instrs {
+            let word = match instr.op {
+                Op::Const(word) => word,
+                Op::Buf(a) => values[a as usize],
+                Op::Not(a) => !values[a as usize],
+                Op::And2(a, b) => values[a as usize] & values[b as usize],
+                Op::Or2(a, b) => values[a as usize] | values[b as usize],
+                Op::AndN { start, len } => self.operands[start as usize..(start + len) as usize]
+                    .iter()
+                    .fold(u64::MAX, |acc, &s| acc & values[s as usize]),
+                Op::OrN { start, len } => self.operands[start as usize..(start + len) as usize]
+                    .iter()
+                    .fold(0u64, |acc, &s| acc | values[s as usize]),
+                Op::Xor(a, b) => values[a as usize] ^ values[b as usize],
+                Op::Mux { sel, high, low } => {
+                    let sel = values[sel as usize];
+                    (sel & values[high as usize]) | (!sel & values[low as usize])
+                }
+            };
+            values[instr.dst as usize] = word;
+        }
+    }
+}
+
+/// Strength-reduces an N-ary AND/OR at compile time: empty gates become
+/// their identity constant, single operands a buffer, pairs the two-input
+/// form; only genuinely variadic gates go through the operand pool.
+fn variadic(ops: &[SignalId], pool: &mut Vec<u32>, is_and: bool) -> Op {
+    match ops {
+        [] => Op::Const(broadcast(is_and)),
+        [a] => Op::Buf(a.index() as u32),
+        [a, b] => {
+            let (a, b) = (a.index() as u32, b.index() as u32);
+            if is_and {
+                Op::And2(a, b)
+            } else {
+                Op::Or2(a, b)
+            }
+        }
+        many => {
+            let start = pool.len() as u32;
+            let len = many.len() as u32;
+            pool.extend(many.iter().map(|s| s.index() as u32));
+            if is_and {
+                Op::AndN { start, len }
+            } else {
+                Op::OrN { start, len }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_strength_reduces_small_variadics() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let empty_and = n.and_gate("t", []);
+        let empty_or = n.or_gate("f", []);
+        let single = n.and_gate("single", [a]);
+        let pair = n.or_gate("pair", [a, b]);
+        let triple = n.and_gate("triple", [a, b, c]);
+        let program = Program::compile(&n).unwrap();
+        let op_of = |id: SignalId| {
+            program
+                .instrs()
+                .iter()
+                .find(|i| i.dst == id.index() as u32)
+                .expect("one instruction per wire")
+                .op
+        };
+        assert_eq!(op_of(empty_and), Op::Const(u64::MAX));
+        assert_eq!(op_of(empty_or), Op::Const(0));
+        assert_eq!(op_of(single), Op::Buf(a.index() as u32));
+        assert_eq!(op_of(pair), Op::Or2(a.index() as u32, b.index() as u32));
+        assert!(matches!(op_of(triple), Op::AndN { len: 3, .. }));
+    }
+
+    #[test]
+    fn compile_rejects_unelaboratable_netlists() {
+        let mut n = Netlist::new("m");
+        let _ = n.register("r", false);
+        assert!(matches!(
+            Program::compile(&n),
+            Err(RtlError::UnconnectedRegister(_))
+        ));
+    }
+
+    #[test]
+    fn execute_is_levelized() {
+        // not(and(a, b)) requires the AND word before the NOT word.
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let and = n.and_gate("and", [a, b]);
+        let not = n.not_gate("not", and);
+        let program = Program::compile(&n).unwrap();
+        let mut values = vec![0u64; program.slots()];
+        values[a.index()] = 0b1100;
+        values[b.index()] = 0b1010;
+        program.execute(&mut values);
+        assert_eq!(values[and.index()], 0b1000);
+        assert_eq!(values[not.index()], !0b1000u64);
+    }
+}

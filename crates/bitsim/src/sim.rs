@@ -1,0 +1,304 @@
+//! The 64-lane simulator executing a compiled [`Program`].
+
+use ipcl_rtl::{Netlist, RtlError, SignalId, SignalKind};
+
+use crate::program::{Program, LANES};
+
+/// A bit-parallel cycle-accurate simulator: 64 independent scenarios of one
+/// [`Netlist`], one per lane of every `u64` word.
+///
+/// Step semantics match [`ipcl_rtl::Simulator`] lane for lane:
+///
+/// 1. combinational wires settle given the current input and register
+///    words (one execution of the compiled program),
+/// 2. every register samples its next-state word simultaneously
+///    (double-buffered),
+/// 3. the cycle counter advances, and the network settles for the new
+///    state.
+///
+/// Input words keep their value until changed. Unlike the interpreter,
+/// driving inputs is *deferred*: [`BitSimulator::set_input_word`] marks the
+/// network stale and the next [`BitSimulator::settle`] / read / step pays
+/// for exactly one program execution however many inputs changed.
+#[derive(Clone, Debug)]
+pub struct BitSimulator {
+    netlist: Netlist,
+    program: Program,
+    values: Vec<u64>,
+    sampled: Vec<u64>,
+    cycle: u64,
+    stale: bool,
+}
+
+impl BitSimulator {
+    /// Compiles `netlist` and resets all 64 lanes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtlError`]s from [`Netlist::elaborate`] (unconnected
+    /// registers, combinational cycles).
+    pub fn new(netlist: &Netlist) -> Result<BitSimulator, RtlError> {
+        let program = Program::compile(netlist)?;
+        let values = vec![0u64; program.slots()];
+        let sampled = vec![0u64; program.regs().len()];
+        let mut sim = BitSimulator {
+            netlist: netlist.clone(),
+            program,
+            values,
+            sampled,
+            cycle: 0,
+            stale: false,
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The number of completed cycles since construction or the last full
+    /// [`BitSimulator::reset`].
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Applies the synchronous reset to **all** lanes: registers take their
+    /// init values, inputs clear to zero, the network settles and the cycle
+    /// counter returns to zero.
+    pub fn reset(&mut self) {
+        self.reset_lanes(u64::MAX);
+        self.cycle = 0;
+    }
+
+    /// Applies the synchronous reset to the lanes selected by `mask`,
+    /// leaving the other lanes' state untouched — the per-lane restart a
+    /// fuzzing driver uses to retire a finished scenario and start a fresh
+    /// one in its lane without disturbing its 63 neighbours.
+    ///
+    /// The global cycle counter is *not* changed (lane-local time is the
+    /// driver's bookkeeping); [`BitSimulator::reset`] is the full-machine
+    /// reset that also rewinds it.
+    pub fn reset_lanes(&mut self, mask: u64) {
+        for reg in self.program.regs() {
+            let slot = reg.slot as usize;
+            self.values[slot] = (self.values[slot] & !mask) | (reg.init & mask);
+        }
+        for &input in self.program.inputs() {
+            self.values[input as usize] &= !mask;
+        }
+        self.settle();
+    }
+
+    /// Drives a primary input in all 64 lanes at once: bit `i` of `word`
+    /// becomes lane `i`'s value. The change is visible after the next
+    /// [`BitSimulator::settle`] (or read / [`BitSimulator::step`], which
+    /// settle on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not a primary input of the netlist.
+    pub fn set_input_word(&mut self, input: SignalId, word: u64) {
+        assert!(
+            matches!(self.netlist.signal(input).kind, SignalKind::Input),
+            "signal '{}' is not a primary input",
+            self.netlist.signal(input).name
+        );
+        self.values[input.index()] = word;
+        self.stale = true;
+    }
+
+    /// Drives a primary input in one lane, leaving the other lanes alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not a primary input or `lane >= 64`.
+    pub fn set_input_lane(&mut self, input: SignalId, lane: usize, value: bool) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let word = self.input_word(input, lane, value);
+        self.set_input_word(input, word);
+    }
+
+    fn input_word(&self, input: SignalId, lane: usize, value: bool) -> u64 {
+        let current = self.values[input.index()];
+        if value {
+            current | (1 << lane)
+        } else {
+            current & !(1 << lane)
+        }
+    }
+
+    /// Re-executes the compiled program if any input changed since the last
+    /// settle. Reads and [`BitSimulator::step`] call this implicitly; it is
+    /// public so drivers can place the (single) settle explicitly after a
+    /// batch of input writes.
+    pub fn settle(&mut self) {
+        self.program.execute(&mut self.values);
+        self.stale = false;
+    }
+
+    fn settle_if_stale(&mut self) {
+        if self.stale {
+            self.settle();
+        }
+    }
+
+    /// Current word of any signal: bit `i` is lane `i`'s value.
+    pub fn value_word(&mut self, signal: SignalId) -> u64 {
+        self.settle_if_stale();
+        self.values[signal.index()]
+    }
+
+    /// Current value of a signal in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn value_lane(&mut self, signal: SignalId, lane: usize) -> bool {
+        assert!(lane < LANES, "lane {lane} out of range");
+        (self.value_word(signal) >> lane) & 1 == 1
+    }
+
+    /// Current word of a signal looked up by name.
+    pub fn value_word_by_name(&mut self, name: &str) -> Option<u64> {
+        self.netlist.find(name).map(|id| self.value_word(id))
+    }
+
+    /// Advances one clock cycle in all 64 lanes: settle (if stale),
+    /// simultaneous register update, settle for the new state.
+    pub fn step(&mut self) {
+        self.settle_if_stale();
+        // Sample every register's next word before updating any register —
+        // the double buffer that realises the two-phase semantics.
+        for (buffer, reg) in self.sampled.iter_mut().zip(self.program.regs()) {
+            *buffer = self.values[reg.next as usize];
+        }
+        for (buffer, reg) in self.sampled.iter().zip(self.program.regs()) {
+            self.values[reg.slot as usize] = *buffer;
+        }
+        self.cycle += 1;
+        self.settle();
+    }
+
+    /// Runs `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::broadcast;
+    use ipcl_rtl::Simulator;
+
+    #[test]
+    fn lanes_are_independent() {
+        // A 3-stage shift chain: drive a different pattern into each lane
+        // and watch the words march through undisturbed.
+        let mut n = Netlist::new("chain");
+        let input = n.input("in");
+        let s1 = n.register("s1", false);
+        let s2 = n.register("s2", false);
+        n.connect_register(s1, input).unwrap();
+        n.connect_register(s2, s1).unwrap();
+        let mut sim = BitSimulator::new(&n).unwrap();
+        sim.set_input_word(input, 0xDEAD_BEEF_0123_4567);
+        sim.step();
+        sim.set_input_word(input, 0);
+        sim.step();
+        assert_eq!(sim.value_word(s2), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(sim.value_word(s1), 0);
+        assert_eq!(sim.cycle(), 2);
+    }
+
+    #[test]
+    fn broadcast_matches_the_interpreter_on_a_counter() {
+        let mut n = Netlist::new("counter2");
+        let bit0 = n.register("bit0", false);
+        let bit1 = n.register("bit1", false);
+        let next0 = n.not_gate("next0", bit0);
+        let next1 = n.xor_gate("next1", bit1, bit0);
+        n.connect_register(bit0, next0).unwrap();
+        n.connect_register(bit1, next1).unwrap();
+        let mut bits = BitSimulator::new(&n).unwrap();
+        let mut interp = Simulator::new(&n).unwrap();
+        for _ in 0..6 {
+            assert_eq!(bits.value_word(bit0), broadcast(interp.value(bit0)));
+            assert_eq!(bits.value_word(bit1), broadcast(interp.value(bit1)));
+            bits.step();
+            interp.step();
+        }
+    }
+
+    #[test]
+    fn per_lane_reset_restarts_only_masked_lanes() {
+        let mut n = Netlist::new("toggler");
+        let toggle = n.register("toggle", false);
+        let inverted = n.not_gate("next", toggle);
+        n.connect_register(toggle, inverted).unwrap();
+        let mut sim = BitSimulator::new(&n).unwrap();
+        sim.step();
+        assert_eq!(sim.value_word(toggle), u64::MAX);
+        // Reset the even lanes only: they return to 0 while the odd lanes
+        // keep toggling.
+        let evens = 0x5555_5555_5555_5555;
+        sim.reset_lanes(evens);
+        assert_eq!(sim.value_word(toggle), !evens);
+        sim.step();
+        assert_eq!(sim.value_word(toggle), evens);
+    }
+
+    #[test]
+    fn per_lane_input_injection() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let and = n.and_gate("and", [a, b]);
+        let mut sim = BitSimulator::new(&n).unwrap();
+        sim.set_input_word(a, u64::MAX);
+        sim.set_input_lane(b, 3, true);
+        sim.set_input_lane(b, 17, true);
+        assert_eq!(sim.value_word(and), (1 << 3) | (1 << 17));
+        assert!(sim.value_lane(and, 3));
+        assert!(!sim.value_lane(and, 4));
+        sim.set_input_lane(b, 3, false);
+        assert_eq!(sim.value_word_by_name("and"), Some(1 << 17));
+        assert_eq!(sim.value_word_by_name("missing"), None);
+    }
+
+    #[test]
+    fn deferred_settle_is_one_execution_per_batch() {
+        // Observable contract: reads after a batch of writes see the fully
+        // settled network, exactly as the interpreter's eager settles.
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let ab = n.and_gate("ab", [a, b]);
+        let abc = n.or_gate("abc", [ab, c]);
+        let mut sim = BitSimulator::new(&n).unwrap();
+        sim.set_input_word(a, 0b01);
+        sim.set_input_word(b, 0b11);
+        sim.set_input_word(c, 0b10);
+        assert_eq!(sim.value_word(abc), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn driving_a_wire_panics() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let w = n.not_gate("w", a);
+        let mut sim = BitSimulator::new(&n).unwrap();
+        sim.set_input_word(w, 1);
+    }
+}

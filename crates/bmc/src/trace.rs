@@ -91,14 +91,13 @@ impl Counterexample {
         let mut violation_reproduced = false;
 
         for (frame, inputs) in self.frames.iter().enumerate() {
-            // Drive every recorded value that is a primary input.
-            for (name, &value) in inputs {
-                if let Some(signal) = netlist.find(name) {
-                    if matches!(netlist.signal(signal).kind, SignalKind::Input) {
-                        simulator.set_input(signal, value);
-                    }
-                }
-            }
+            // Drive every recorded value that is a primary input — batched,
+            // so the frame costs one combinational settle, not one per
+            // driven signal.
+            simulator.set_inputs(inputs.iter().filter_map(|(name, &value)| {
+                let signal = netlist.find(name)?;
+                matches!(netlist.signal(signal).kind, SignalKind::Input).then_some((signal, value))
+            }));
 
             // Observe the property's view of this frame.
             let env_frame = frame.saturating_sub(property.latency.offset());

@@ -14,7 +14,10 @@
 //!   counterexample assignments (unnecessary-stall or missed-stall
 //!   witnesses);
 //! * [`sequential`] checks reset behaviour of registered implementations and
-//!   runs bounded random falsification over input sequences.
+//!   runs bounded random falsification over input sequences;
+//! * [`prepass`] accelerates that falsification 64× with the compiled
+//!   bit-parallel simulator (`ipcl-bitsim`), replaying every lane verdict
+//!   through the interpreted simulator before reporting it.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 
 pub mod engine;
 pub mod implementation;
+pub mod prepass;
 pub mod sequential;
 
 pub use engine::{CheckOutcome, Engine};
@@ -38,6 +42,7 @@ pub use implementation::{
     check_derived_implementation, check_moe_expressions, check_netlist, ImplementationReport,
     SpecDirection, StageVerdict,
 };
+pub use prepass::{random_falsification_bitsim, BitSweep, LaneViolation};
 pub use sequential::{
     check_netlist_sequential, check_netlist_sequential_with, check_property_job,
     check_reset_values, random_falsification, DynamicViolation, ProofStrategy, ResetReport,

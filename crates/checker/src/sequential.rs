@@ -129,17 +129,20 @@ pub fn random_falsification(
     let mut violations = Vec::new();
 
     for cycle in 0..cycles {
-        // Random environment, driven into the matching netlist inputs.
+        // Random environment, driven into the matching netlist inputs in
+        // one batch (one settle per cycle, not one per input).
         let mut env = Assignment::new();
+        let mut driven = Vec::with_capacity(env_vars.len());
         for &var in &env_vars {
             let value = rng.random_bool(0.5);
             env.set(var, value);
             if let Some(signal) = netlist.find(&pool.name_or_fallback(var)) {
                 if matches!(netlist.signal(signal).kind, SignalKind::Input) {
-                    simulator.set_input(signal, value);
+                    driven.push((signal, value));
                 }
             }
         }
+        simulator.set_inputs(driven);
         // Read the implementation's moe outputs.
         let mut moe = Assignment::new();
         for stage in spec.stages() {
@@ -235,6 +238,14 @@ pub struct SequentialOptions {
     /// ([`DEFAULT_PREPASS_SEED`]) is fixed so CI runs are reproducible;
     /// vary it explicitly to diversify the sweep.
     pub prepass_seed: u64,
+    /// Run the pre-pass on the compiled bit-parallel simulator
+    /// ([`crate::prepass::random_falsification_bitsim`]): 64 independent
+    /// random input sequences per pass instead of one, for roughly the same
+    /// cost. Every violating lane is extracted into a counterexample and
+    /// replayed through the interpreted simulator before its verdict is
+    /// used. `true` by default; disable to fall back to the interpreted
+    /// [`random_falsification`] sweep.
+    pub bitsim: bool,
     /// Check every property on its own OS thread.
     pub parallel: bool,
     /// Run the per-stage stall-escape (deadlock/livelock) proof.
@@ -257,6 +268,7 @@ impl Default for SequentialOptions {
             latency: None,
             prepass_cycles: 200,
             prepass_seed: DEFAULT_PREPASS_SEED,
+            bitsim: true,
             parallel: true,
             deadlock: true,
             escape_cycles: 2,
@@ -383,8 +395,36 @@ pub fn check_netlist_sequential_with(
     // systematically wrong (every correct registered implementation "fails"
     // by one cycle of lag) — skip it there.
     let prepass_violations = if options.prepass_cycles > 0 && latency == Latency::Combinational {
-        random_falsification(spec, netlist, options.prepass_cycles, options.prepass_seed)
-            .map_err(BmcError::Rtl)?
+        if options.bitsim {
+            // Compiled 64-lane sweep: 64× the scenario coverage per cycle,
+            // every lane verdict interpreter-replayed before use.
+            let _span = tracer.span("checker.bitsim_prepass");
+            let sweep = crate::prepass::random_falsification_bitsim(
+                spec,
+                netlist,
+                options.prepass_cycles,
+                options.prepass_seed,
+            )
+            .map_err(BmcError::Rtl)?;
+            if tracer.is_enabled() {
+                tracer.event(
+                    "bitsim_prepass",
+                    &[
+                        ("cycles", Value::from(options.prepass_cycles)),
+                        ("scenarios", Value::from(sweep.scenarios)),
+                        ("violations", Value::from(sweep.violations.len() as u64)),
+                        (
+                            "counterexamples",
+                            Value::from(sweep.counterexamples.len() as u64),
+                        ),
+                    ],
+                );
+            }
+            sweep.dynamic_violations()
+        } else {
+            random_falsification(spec, netlist, options.prepass_cycles, options.prepass_seed)
+                .map_err(BmcError::Rtl)?
+        }
     } else {
         Vec::new()
     };

@@ -80,6 +80,27 @@ impl Simulator {
         self.settle();
     }
 
+    /// Drives a batch of primary inputs, settling the combinational
+    /// network **once** at the end — driving `k` inputs through
+    /// [`Simulator::set_input`] costs `k` settles, through here exactly
+    /// one. This is the path every per-cycle drive loop (counterexample
+    /// replay, random falsification, differential oracles) should take.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any driven signal is not a primary input of the netlist.
+    pub fn set_inputs<I: IntoIterator<Item = (SignalId, bool)>>(&mut self, inputs: I) {
+        for (input, value) in inputs {
+            assert!(
+                matches!(self.netlist.signal(input).kind, SignalKind::Input),
+                "signal '{}' is not a primary input",
+                self.netlist.signal(input).name
+            );
+            self.values[input.index()] = value;
+        }
+        self.settle();
+    }
+
     /// Current value of any signal (input, wire or register output).
     pub fn value(&self, signal: SignalId) -> bool {
         self.values[signal.index()]
@@ -225,6 +246,36 @@ mod tests {
         let sim = Simulator::new(&n).unwrap();
         assert!(sim.value(high));
         assert!(!sim.value(low));
+    }
+
+    #[test]
+    fn batched_set_inputs_matches_sequential_sets() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let and = n.and_gate("and", [a, b]);
+        let out = n.or_gate("out", [and, c]);
+        let mut one_by_one = Simulator::new(&n).unwrap();
+        one_by_one.set_input(a, true);
+        one_by_one.set_input(b, true);
+        one_by_one.set_input(c, false);
+        let mut batched = Simulator::new(&n).unwrap();
+        batched.set_inputs([(a, true), (b, true), (c, false)]);
+        for id in [a, b, c, and, out] {
+            assert_eq!(batched.value(id), one_by_one.value(id));
+        }
+        assert!(batched.value(out));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn batched_driving_a_wire_panics() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let w = n.not_gate("w", a);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_inputs([(a, true), (w, true)]);
     }
 
     #[test]

@@ -13,8 +13,16 @@
 //!
 //! * **cache hits** are served exactly as on the single-job path
 //!   (revalidated, never trusted);
-//! * **falsifiable properties** get their counterexample from the shared
-//!   unrolling — decoded, replay-checked and cached like any engine result;
+//! * **shallowly falsifiable properties** are caught even before the
+//!   solver: a compiled 64-lane fuzz sweep (`ipcl-bitsim`) drives 64
+//!   random scenarios per step through the shared netlist and evaluates
+//!   every surviving property word-wide — each violating lane is extracted
+//!   into a trace and replayed against *its own job's* netlist before
+//!   being served, so the fuzz stage can save SAT queries but never
+//!   corrupt a verdict;
+//! * **falsifiable properties** the fuzz missed get their counterexample
+//!   from the shared unrolling — decoded, replay-checked and cached like
+//!   any engine result;
 //! * everything else (the properties that need a real proof) is handed to
 //!   the worker pool as ordinary queued jobs.
 //!
@@ -22,14 +30,19 @@
 //! server's `batch_depth`, so a batch of mostly-buggy or mostly-cached
 //! properties answers without ever occupying a worker.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
+use ipcl_bitsim::{eval_expr_word, BitSimulator, LANES};
 use ipcl_bmc::{Counterexample, FrameEncoder, SequentialProperty, SolverSync};
-use ipcl_rtl::{structural_digest, InitialState};
+use ipcl_expr::VarId;
+use ipcl_rtl::{structural_digest, InitialState, SignalId, SignalKind};
 use ipcl_sat::{SatResult, Solver, SolverConfig};
 use ipcl_trace::{MetricSink, Tracer, Value};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::cache::{cache_key, revalidate, ProofCache};
 use crate::pool::process_job;
@@ -148,14 +161,31 @@ fn presolve_group(
         sweep.push((index, property));
     }
 
-    // Pass 2: the shared bounded falsification sweep over one encoder and
+    // Pass 2: the compiled 64-lane fuzz sweep — 64 random scenarios per
+    // step, word-wide property evaluation, lane traces replay-verified
+    // against each member's own job. Whatever it settles never reaches the
+    // solver.
+    let mut settled = vec![false; sweep.len()];
+    if depth > 0 && !sweep.is_empty() {
+        fuzz_group(
+            jobs,
+            representative,
+            &sweep,
+            &mut settled,
+            depth,
+            cache,
+            tracer,
+            resolved,
+        );
+    }
+
+    // Pass 3: the shared bounded falsification sweep over one encoder and
     // one incremental solver. Encoded against the representative's spec and
     // netlist — members share the structural digest, and each trace is
     // replay-verified against its own job before being served, so a
     // colliding-but-different member can cost a wasted query, never a wrong
     // verdict.
     if depth > 0 && !sweep.is_empty() {
-        let mut settled = vec![false; sweep.len()];
         if let Ok(mut enc) = FrameEncoder::new(&representative.netlist, InitialState::Reset, 0) {
             let moe_vars: BTreeSet<_> = representative.spec.moe_vars().into_iter().collect();
             let mut solver = Solver::with_config(0, SolverConfig::default());
@@ -201,13 +231,149 @@ fn presolve_group(
                 }
             }
         }
-        for (slot, (index, _)) in sweep.iter().enumerate() {
-            if !settled[slot] {
-                unresolved.push(*index);
+    }
+    for (slot, (index, _)) in sweep.iter().enumerate() {
+        if !settled[slot] {
+            unresolved.push(*index);
+        }
+    }
+}
+
+/// Deterministic seed of the batch fuzz sweep (the stage is a pure
+/// accelerator, so reproducible runs matter more than stimulus variety).
+const BATCH_FUZZ_SEED: u64 = 0xB175_1B3C;
+
+/// The bit-parallel shallow-falsification stage of a group pre-solve:
+/// drives `depth` steps of 64 independent random environment scenarios
+/// through a compiled simulator of the group representative's netlist and
+/// evaluates every unsettled property word-wide each frame (environment
+/// sampled at the property's latency offset, `moe` signals live — exactly
+/// the [`Counterexample::replay`] discipline). A violating lane's input
+/// history becomes a candidate trace; it is served only if it replays
+/// against the member's own job, and marked settled in `settled`.
+#[allow(clippy::too_many_arguments)]
+fn fuzz_group(
+    jobs: &[Arc<JobRequest>],
+    representative: &Arc<JobRequest>,
+    sweep: &[(usize, SequentialProperty)],
+    settled: &mut [bool],
+    depth: usize,
+    cache: &ProofCache,
+    tracer: &Tracer,
+    resolved: &mut Vec<(usize, JobOutcome)>,
+) {
+    let Ok(mut sim) = BitSimulator::new(&representative.netlist) else {
+        return;
+    };
+    let mut rng = StdRng::seed_from_u64(BATCH_FUZZ_SEED);
+    let pool = representative.spec.pool();
+    let moe_vars: BTreeSet<VarId> = representative.spec.moe_vars().into_iter().collect();
+    // Pre-resolve the environment inputs the netlist implements and the
+    // signals behind the moe variables (any kind: replay reads them with
+    // `value_by_name`, whatever drives them).
+    let driven: Vec<(VarId, Option<SignalId>)> = representative
+        .spec
+        .env_vars()
+        .into_iter()
+        .map(|var| {
+            let signal = representative
+                .netlist
+                .find(&pool.name_or_fallback(var))
+                .filter(|&s| matches!(representative.netlist.signal(s).kind, SignalKind::Input));
+            (var, signal)
+        })
+        .collect();
+    let moe_signals: BTreeMap<VarId, SignalId> = moe_vars
+        .iter()
+        .filter_map(|&var| {
+            representative
+                .netlist
+                .find(&pool.name_or_fallback(var))
+                .map(|signal| (var, signal))
+        })
+        .collect();
+
+    let mut history: Vec<BTreeMap<VarId, u64>> = Vec::with_capacity(depth);
+    let mut fuzz_settled = 0u64;
+    for frame in 0..depth {
+        let mut env = BTreeMap::new();
+        for &(var, signal) in &driven {
+            let word = rng.next_u64();
+            env.insert(var, word);
+            if let Some(signal) = signal {
+                sim.set_input_word(signal, word);
             }
         }
-    } else {
-        unresolved.extend(sweep.iter().map(|(index, _)| *index));
+        history.push(env);
+        // One settle serves every moe read of this frame.
+        let moe_words: BTreeMap<VarId, u64> = moe_signals
+            .iter()
+            .map(|(&var, &signal)| (var, sim.value_word(signal)))
+            .collect();
+
+        for (slot, (index, property)) in sweep.iter().enumerate() {
+            if settled[slot] || frame < property.latency.first_instance() {
+                continue;
+            }
+            let env_frame = frame.saturating_sub(property.latency.offset());
+            let lookup = |v: VarId| {
+                if moe_vars.contains(&v) {
+                    moe_words.get(&v).copied().unwrap_or(0)
+                } else {
+                    history[env_frame].get(&v).copied().unwrap_or(0)
+                }
+            };
+            let bad = !eval_expr_word(&property.ok, lookup);
+            if bad == 0 {
+                continue;
+            }
+            let lane = bad.trailing_zeros() as usize;
+            let frames: Vec<_> = history[..=frame]
+                .iter()
+                .map(|env| {
+                    env.iter()
+                        .map(|(&var, &word)| (pool.name_or_fallback(var), (word >> lane) & 1 == 1))
+                        .collect()
+                })
+                .collect();
+            let counterexample = Counterexample {
+                property: property.name.clone(),
+                frames,
+                violation_frame: frame,
+            };
+            let job = &jobs[*index];
+            let reproduced = counterexample
+                .replay(&job.spec, &job.netlist, property)
+                .map(|replay| replay.violation_reproduced)
+                .unwrap_or(false);
+            if !reproduced {
+                continue;
+            }
+            let outcome = JobOutcome {
+                property: property.name.clone(),
+                verdict: Verdict::Falsified,
+                detail: format!("trace_frames={}", counterexample.length()),
+                cached: false,
+                certificate: None,
+                counterexample: Some(counterexample),
+            };
+            cache.record_miss();
+            tracer.counter("serve.cache.misses", 1);
+            cache.store(&cache_key(&job.spec, &job.netlist, property), &outcome);
+            resolved.push((*index, outcome));
+            settled[slot] = true;
+            fuzz_settled += 1;
+        }
+        sim.step();
+    }
+    if fuzz_settled > 0 || tracer.is_enabled() {
+        tracer.event(
+            "serve.batch_fuzzed",
+            &[
+                ("scenarios", Value::U64((depth * LANES) as u64)),
+                ("settled", Value::U64(fuzz_settled)),
+            ],
+        );
     }
 }
 
@@ -282,6 +448,35 @@ mod tests {
             resolution.resolved.len() + resolution.unresolved.len(),
             jobs.len()
         );
+    }
+
+    #[test]
+    fn fuzz_stage_settles_falsifiable_jobs_before_the_solver() {
+        let jobs = broken_batch();
+        let cache = ProofCache::new(None);
+        let tracer = Tracer::new(ipcl_trace::TraceConfig::enabled());
+        let resolution = presolve_batch(&jobs, 6, &cache, &tracer);
+        assert!(!resolution.resolved.is_empty());
+        let snapshot = tracer.snapshot().expect("tracing enabled");
+        let fuzzed = snapshot
+            .events
+            .iter()
+            .find(|e| e.kind == "serve.batch_fuzzed")
+            .expect("fuzz stage ran");
+        let settled = fuzzed
+            .fields
+            .iter()
+            .find(|(k, _)| k == "settled")
+            .map(|(_, v)| v.clone());
+        assert!(
+            matches!(settled, Some(Value::U64(n)) if n > 0),
+            "the 64-lane fuzz must catch the scoreboard break: {settled:?}"
+        );
+        // Fuzz-served traces pass the same replay bar as solver traces.
+        for (_, outcome) in &resolution.resolved {
+            assert_eq!(outcome.verdict, Verdict::Falsified);
+            assert!(outcome.counterexample.is_some());
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! Entries live in memory and, when a cache directory is configured, as
 //! one `<key>.json` file per entry (the [`JobOutcome`] wire format), so a
 //! restarted server keeps its warm proofs.
+//!
+//! Growth is bounded: [`CacheLimits`] caps the entry count and/or the total
+//! stored bytes, and the cache evicts least-recently-used entries (memory
+//! *and* their disk files) to stay under both caps. Evictions are counted
+//! in [`CacheStats::evictions`] and surfaced through the worker heartbeat
+//! and the server's `stats` response, so an undersized cache is visible
+//! before it becomes a throughput problem.
 
 use std::collections::HashMap;
 use std::fs;
@@ -107,45 +114,101 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries found but rejected by revalidation (counted as misses too).
     pub revalidation_failures: u64,
+    /// Entries dropped by the LRU size bound ([`CacheLimits`]).
+    pub evictions: u64,
+}
+
+/// Size bounds of a [`ProofCache`]. `None` in either slot means unbounded
+/// in that dimension; the default is fully unbounded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum number of in-memory entries.
+    pub max_entries: Option<usize>,
+    /// Maximum total size of the stored entry texts, in bytes. An entry
+    /// larger than the whole budget is never retained.
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheLimits {
+    /// Whether a cache of `entries` entries totalling `bytes` bytes is
+    /// within both bounds.
+    fn admits(&self, entries: usize, bytes: usize) -> bool {
+        self.max_entries.is_none_or(|max| entries <= max)
+            && self.max_bytes.is_none_or(|max| bytes <= max)
+    }
+}
+
+/// One resident entry: the stored JSON plus its last-touch stamp.
+struct Entry {
+    text: String,
+    stamp: u64,
+}
+
+/// The mutex-guarded resident state: entries, their total byte size, and
+/// the logical clock handing out recency stamps.
+#[derive(Default)]
+struct Store {
+    entries: HashMap<String, Entry>,
+    bytes: usize,
+    clock: u64,
 }
 
 /// The shared proof cache. See the module docs.
 pub struct ProofCache {
     dir: Option<PathBuf>,
-    entries: Mutex<HashMap<String, String>>,
+    limits: CacheLimits,
+    store: Mutex<Store>,
     hits: AtomicU64,
     misses: AtomicU64,
     revalidation_failures: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ProofCache {
-    /// An in-memory cache, optionally persisted under `dir` (created if
-    /// missing; creation failure silently degrades to memory-only).
+    /// An unbounded in-memory cache, optionally persisted under `dir`
+    /// (created if missing; creation failure silently degrades to
+    /// memory-only).
     pub fn new(dir: Option<PathBuf>) -> ProofCache {
+        ProofCache::with_limits(dir, CacheLimits::default())
+    }
+
+    /// As [`ProofCache::new`], with LRU size bounds. Eviction applies to
+    /// the persisted files too: a server restarted onto an over-full cache
+    /// directory trims it back under the caps as entries are touched.
+    pub fn with_limits(dir: Option<PathBuf>, limits: CacheLimits) -> ProofCache {
         let dir = dir.filter(|d| fs::create_dir_all(d).is_ok());
         ProofCache {
             dir,
-            entries: Mutex::new(HashMap::new()),
+            limits,
+            store: Mutex::new(Store::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             revalidation_failures: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// The raw stored entry for `key`, if any (memory first, then disk).
-    /// This is *not* yet a hit: the caller must revalidate.
+    /// This is *not* yet a hit: the caller must revalidate. Touching an
+    /// entry refreshes its LRU recency.
     pub fn load(&self, key: &str) -> Option<JobOutcome> {
         let text = {
-            let entries = self.entries.lock().expect("cache lock");
-            entries.get(key).cloned()
+            let mut store = self.store.lock().expect("cache lock");
+            store.clock += 1;
+            let stamp = store.clock;
+            match store.entries.get_mut(key) {
+                Some(entry) => {
+                    entry.stamp = stamp;
+                    Some(entry.text.clone())
+                }
+                None => None,
+            }
         }
         .or_else(|| {
             let path = self.dir.as_ref()?.join(format!("{key}.json"));
             let text = fs::read_to_string(path).ok()?;
-            self.entries
-                .lock()
-                .expect("cache lock")
-                .insert(key.to_owned(), text.clone());
+            let mut store = self.store.lock().expect("cache lock");
+            self.insert_locked(&mut store, key, text.clone());
             Some(text)
         })?;
         let json = Json::parse(&text).ok()?;
@@ -170,10 +233,38 @@ impl ProofCache {
                 let _ = fs::rename(&tmp_path, &final_path);
             }
         }
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .insert(key.to_owned(), text);
+        let mut store = self.store.lock().expect("cache lock");
+        self.insert_locked(&mut store, key, text);
+    }
+
+    /// Inserts under the lock with a fresh recency stamp, then evicts
+    /// least-recently-used entries (and their disk files) until both
+    /// [`CacheLimits`] hold. The just-inserted entry carries the newest
+    /// stamp, so it is evicted only if it alone exceeds the byte budget.
+    fn insert_locked(&self, store: &mut Store, key: &str, text: String) {
+        store.clock += 1;
+        let stamp = store.clock;
+        let added = text.len();
+        if let Some(previous) = store.entries.insert(key.to_owned(), Entry { text, stamp }) {
+            store.bytes -= previous.text.len();
+        }
+        store.bytes += added;
+        while !self.limits.admits(store.entries.len(), store.bytes) {
+            let Some(victim) = store
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            let entry = store.entries.remove(&victim).expect("victim resident");
+            store.bytes -= entry.text.len();
+            if let Some(dir) = &self.dir {
+                let _ = fs::remove_file(dir.join(format!("{victim}.json")));
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records a served hit.
@@ -197,12 +288,23 @@ impl ProofCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             revalidation_failures: self.revalidation_failures.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// The configured size bounds.
+    pub fn limits(&self) -> CacheLimits {
+        self.limits
     }
 
     /// Number of entries currently held in memory.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.store.lock().expect("cache lock").entries.len()
+    }
+
+    /// Total size of the resident entry texts, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.store.lock().expect("cache lock").bytes
     }
 
     /// Whether the in-memory cache is empty.
@@ -265,6 +367,98 @@ mod tests {
         cache.store("k", &unknown);
         assert!(cache.load("k").is_none());
         assert!(cache.is_empty());
+    }
+
+    fn falsified(detail: &str) -> JobOutcome {
+        JobOutcome {
+            property: "p".to_owned(),
+            verdict: Verdict::Falsified,
+            detail: detail.to_owned(),
+            cached: false,
+            certificate: None,
+            counterexample: Some(ipcl_bmc::Counterexample {
+                property: "p".to_owned(),
+                violation_frame: 0,
+                frames: vec![std::collections::BTreeMap::new()],
+            }),
+        }
+    }
+
+    #[test]
+    fn entry_bound_evicts_least_recently_used() {
+        let cache = ProofCache::with_limits(
+            None,
+            CacheLimits {
+                max_entries: Some(2),
+                max_bytes: None,
+            },
+        );
+        cache.store("a", &falsified("a"));
+        cache.store("b", &falsified("b"));
+        // Touch `a` so `b` becomes the coldest entry.
+        assert!(cache.load("a").is_some());
+        cache.store("c", &falsified("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.load("a").is_some());
+        assert!(cache.load("b").is_none(), "coldest entry must go");
+        assert!(cache.load("c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_tracks_sizes() {
+        let entry_bytes = falsified("x").to_json_string().len();
+        let cache = ProofCache::with_limits(
+            None,
+            CacheLimits {
+                max_entries: None,
+                max_bytes: Some(2 * entry_bytes),
+            },
+        );
+        cache.store("a", &falsified("x"));
+        cache.store("b", &falsified("x"));
+        assert_eq!(cache.bytes(), 2 * entry_bytes);
+        cache.store("c", &falsified("x"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() <= 2 * entry_bytes);
+        assert_eq!(cache.stats().evictions, 1);
+        // Re-storing an existing key replaces, not duplicates, its bytes.
+        cache.store("c", &falsified("x"));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_removes_the_disk_file_too() {
+        let dir = std::env::temp_dir().join(format!(
+            "ipcl-serve-cache-evict-test-{}",
+            std::process::id()
+        ));
+        let cache = ProofCache::with_limits(
+            Some(dir.clone()),
+            CacheLimits {
+                max_entries: Some(1),
+                max_bytes: None,
+            },
+        );
+        cache.store("old", &falsified("old"));
+        cache.store("new", &falsified("new"));
+        assert!(!dir.join("old.json").exists(), "evicted file must be gone");
+        assert!(dir.join("new.json").exists());
+        // The evicted entry is gone for a fresh cache over the same dir too.
+        let reopened = ProofCache::new(Some(dir.clone()));
+        assert!(reopened.load("old").is_none());
+        assert!(reopened.load("new").is_some());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ProofCache::new(None);
+        for i in 0..100 {
+            cache.store(&format!("k{i}"), &falsified("x"));
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

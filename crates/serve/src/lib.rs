@@ -71,7 +71,7 @@ pub mod queue;
 pub mod server;
 
 pub use batch::{presolve_batch, solve_batch_inline, BatchResolution};
-pub use cache::{cache_key, revalidate, CacheStats, ProofCache};
+pub use cache::{cache_key, revalidate, CacheLimits, CacheStats, ProofCache};
 pub use client::Client;
 pub use pool::{process_job, WorkerPool};
 pub use protocol::{JobOutcome, JobRequest, PropertyRequest, Verdict};

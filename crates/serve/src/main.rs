@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ipcl-serve serve   [--addr 127.0.0.1:7171] [--workers N]
-//!                    [--cache-dir DIR] [--batch-depth K] [--trace]
+//!                    [--cache-dir DIR] [--cache-max-entries N]
+//!                    [--cache-max-bytes N] [--batch-depth K] [--trace]
 //! ipcl-serve submit  --addr HOST:PORT --file JOB.json [--no-wait]
 //! ipcl-serve status  --addr HOST:PORT --id N
 //! ipcl-serve smoke-check [--cache-dir DIR]
@@ -62,6 +63,10 @@ fn cmd_serve(args: &[String]) -> i32 {
             .and_then(|w| w.parse().ok())
             .unwrap_or(2),
         cache_dir: take_option(args, "--cache-dir").map(Into::into),
+        cache_limits: ipcl_serve::cache::CacheLimits {
+            max_entries: take_option(args, "--cache-max-entries").and_then(|n| n.parse().ok()),
+            max_bytes: take_option(args, "--cache-max-bytes").and_then(|n| n.parse().ok()),
+        },
         batch_depth: take_option(args, "--batch-depth")
             .and_then(|d| d.parse().ok())
             .unwrap_or(5),

@@ -96,6 +96,8 @@ fn beat(tracer: &Tracer, heartbeat: &mut Heartbeat, queue: &JobQueue, cache: &Pr
             ("done", Value::U64(stats.done)),
             ("hits", Value::U64(cache_stats.hits)),
             ("misses", Value::U64(cache_stats.misses)),
+            ("evictions", Value::U64(cache_stats.evictions)),
+            ("entries", Value::U64(cache.len() as u64)),
         ],
     );
 }

@@ -33,7 +33,7 @@ use ipcl_trace::{Tracer, Value};
 use ipcl_tracetool::json::{write_json_string, Json};
 
 use crate::batch::presolve_batch;
-use crate::cache::ProofCache;
+use crate::cache::{CacheLimits, ProofCache};
 use crate::pool::WorkerPool;
 use crate::protocol::JobRequest;
 use crate::queue::{JobQueue, JobState};
@@ -47,6 +47,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Proof-cache persistence directory (`None`: memory only).
     pub cache_dir: Option<PathBuf>,
+    /// LRU size bounds of the proof cache (default: unbounded).
+    pub cache_limits: CacheLimits,
     /// Frame bound of the shared batch falsification sweep.
     pub batch_depth: usize,
 }
@@ -57,6 +59,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             cache_dir: None,
+            cache_limits: CacheLimits::default(),
             batch_depth: 5,
         }
     }
@@ -86,7 +89,10 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let queue = Arc::new(JobQueue::new());
-        let cache = Arc::new(ProofCache::new(config.cache_dir.clone()));
+        let cache = Arc::new(ProofCache::with_limits(
+            config.cache_dir.clone(),
+            config.cache_limits,
+        ));
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let pool = WorkerPool::spawn(
@@ -334,14 +340,16 @@ fn respond(
             format!(
                 "{{\"ok\": true, \"queued\": {}, \"running\": {}, \"done\": {}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \"revalidation_failures\": {}, \
-                 \"cache_entries\": {}}}",
+                 \"cache_evictions\": {}, \"cache_entries\": {}, \"cache_bytes\": {}}}",
                 queue_stats.queued,
                 queue_stats.running,
                 queue_stats.done,
                 cache_stats.hits,
                 cache_stats.misses,
                 cache_stats.revalidation_failures,
-                cache.len()
+                cache_stats.evictions,
+                cache.len(),
+                cache.bytes()
             )
         }
         Some("shutdown") => {

@@ -349,14 +349,10 @@ mod tests {
                 .iter()
                 .map(|&v| (v, rng.random_bool(0.5)))
                 .collect();
-            for (&var, value) in env_vars
-                .iter()
-                .zip(env_vars.iter().map(|&v| env.get_or_false(v)))
-            {
+            sim.set_inputs(env_vars.iter().map(|&var| {
                 let name = pool.name_or_fallback(var);
-                let signal = synthesized.inputs()[&name];
-                sim.set_input(signal, value);
-            }
+                (synthesized.inputs()[&name], env.get_or_false(var))
+            }));
             let expected = derive_concrete(&spec, &env);
             for stage in spec.stages() {
                 let name = pool.name_or_fallback(stage.moe);

@@ -12,6 +12,7 @@
 //! | [`bdd`] | `ipcl-bdd` | ROBDD package |
 //! | [`sat`] | `ipcl-sat` | CDCL SAT solver |
 //! | [`rtl`] | `ipcl-rtl` | netlists, simulation, Verilog emission |
+//! | [`bitsim`] | `ipcl-bitsim` | compiled bit-parallel simulation: 64 scenarios per levelized instruction pass |
 //! | [`core`] | `ipcl-core` | interlock specifications and the fixed-point derivation |
 //! | [`pipesim`] | `ipcl-pipesim` | cycle-accurate pipeline simulator and workloads |
 //! | [`assertgen`] | `ipcl-assertgen` | SVA/PSL assertion generation and runtime monitors |
@@ -46,6 +47,7 @@
 
 pub use ipcl_assertgen as assertgen;
 pub use ipcl_bdd as bdd;
+pub use ipcl_bitsim as bitsim;
 pub use ipcl_bmc as bmc;
 pub use ipcl_checker as checker;
 pub use ipcl_core as core;
